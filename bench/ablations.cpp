@@ -1,0 +1,127 @@
+// Design-choice ablations (DESIGN.md §5) that the paper motivates but does
+// not plot:
+//   D2 — fingerprint-cache window (1 vs 2) per workload: dedup ratio lost
+//        by a too-small window, cache memory paid by a too-large one;
+//   D4 — restore-cache cross-product: every policy × {HiDeStore, DDFS}
+//        on the newest and the middle version, same memory budget;
+//   C1 — chunking-algorithm ablation: dedup ratio and chunk-size spread
+//        per algorithm on the same byte-level workload (why CDC, and why
+//        the paper's TTTD choice is reasonable).
+#include "bench/bench_util.h"
+#include "chunking/chunk_stream.h"
+
+int main() {
+  using namespace hds;
+  using namespace hds::bench;
+
+  print_header("Ablations", "D2 window, D4 restore caches, C1 chunkers",
+               "design choices the paper states without plotting");
+
+  // --- D2: cache window ---
+  std::printf("--- D2: fingerprint-cache window ---\n");
+  TablePrinter d2({"dataset", "exact ratio", "window 1", "window 2",
+                   "w1 loss (pts)", "peak cache w2"});
+  for (const auto& profile : paper_profiles()) {
+    const auto chain = generate_chain(profile);
+    auto exact = meta_baseline(BaselineKind::kDdfs);
+    HiDeStoreConfig c1;
+    c1.materialize_contents = false;
+    c1.cache_window = 1;
+    HiDeStoreConfig c2 = c1;
+    c2.cache_window = 2;
+    HiDeStore w1(c1), w2(c2);
+    std::uint64_t peak2 = 0;
+    for (const auto& vs : chain) {
+      (void)exact->backup(vs);
+      (void)w1.backup(vs);
+      (void)w2.backup(vs);
+      peak2 = std::max(peak2, w2.cache_memory_bytes());
+    }
+    d2.add_row({profile.name, pct(exact->dedup_ratio()),
+                pct(w1.dedup_ratio()), pct(w2.dedup_ratio()),
+                TablePrinter::fmt(
+                    (exact->dedup_ratio() - w1.dedup_ratio()) * 100.0, 2),
+                TablePrinter::fmt(static_cast<double>(peak2) / 1024.0, 0) +
+                    " KB"});
+  }
+  d2.print();
+  std::printf("shape: w1 loses dedup only on macos (skip chunks); w2 "
+              "matches exact everywhere at ~1.5x the cache.\n\n");
+
+  // --- D4: restore-cache cross-product ---
+  std::printf("--- D4: restore policy x system (kernel) ---\n");
+  auto profile = WorkloadProfile::kernel();
+  if (small_mode()) profile.versions /= 4;
+  const auto chain = generate_chain(profile);
+  auto ddfs = meta_baseline(BaselineKind::kDdfs);
+  auto hds_sys = meta_hidestore(profile);
+  for (const auto& vs : chain) {
+    (void)ddfs->backup(vs);
+    (void)hds_sys->backup(vs);
+  }
+  const auto sink = [](const ChunkLoc&, std::span<const std::uint8_t>) {};
+  const auto newest = static_cast<VersionId>(chain.size());
+  const auto middle = static_cast<VersionId>(chain.size() / 2);
+
+  TablePrinter d4({"policy", "ddfs newest", "hds newest", "ddfs middle",
+                   "hds middle"});
+  for (auto kind : {RestorePolicyKind::kNoCache,
+                    RestorePolicyKind::kContainerLru,
+                    RestorePolicyKind::kChunkLru, RestorePolicyKind::kFaa,
+                    RestorePolicyKind::kAlacc, RestorePolicyKind::kFbw}) {
+    RestoreConfig config;
+    config.memory_budget = 32 * 1024 * 1024;
+    config.lookahead_chunks = 8 * 1024;
+    auto p1 = make_restore_policy(kind, config);
+    auto p2 = make_restore_policy(kind, config);
+    auto p3 = make_restore_policy(kind, config);
+    auto p4 = make_restore_policy(kind, config);
+    d4.add_row(
+        {std::string(p1->name()),
+         TablePrinter::fmt(
+             ddfs->restore_with(newest, *p1, sink).stats.speed_factor(), 2),
+         TablePrinter::fmt(
+             hds_sys->restore_with(newest, *p2, sink).stats.speed_factor(),
+             2),
+         TablePrinter::fmt(
+             ddfs->restore_with(middle, *p3, sink).stats.speed_factor(), 2),
+         TablePrinter::fmt(
+             hds_sys->restore_with(middle, *p4, sink).stats.speed_factor(),
+             2)});
+  }
+  d4.print();
+  std::printf("shape: on the newest version HiDeStore beats DDFS under "
+              "EVERY cache — the layout, not the cache, is the lever.\n\n");
+
+  // --- C1: chunking algorithms on real bytes ---
+  std::printf("--- C1: chunkers on a byte-level workload ---\n");
+  TablePrinter c1_table({"chunker", "dedup ratio", "chunks/version",
+                         "mean size"});
+  for (auto kind : {ChunkerKind::kFixed, ChunkerKind::kRabin,
+                    ChunkerKind::kTttd, ChunkerKind::kFastCdc,
+                    ChunkerKind::kAe}) {
+    const auto chunker = make_chunker(kind);
+    ByteStreamWorkload workload(99, 2 * 1024 * 1024);
+    auto sys = make_baseline(BaselineKind::kDdfs);
+    std::size_t total_chunks = 0;
+    const int byte_versions = small_mode() ? 4 : 10;
+    for (int v = 0; v < byte_versions; ++v) {
+      const auto bytes = workload.next_version(0.03);
+      const auto stream = chunk_bytes(*chunker, bytes);
+      total_chunks += stream.chunks.size();
+      (void)sys->backup(stream);
+    }
+    c1_table.add_row(
+        {std::string(chunker->name()), pct(sys->dedup_ratio()),
+         std::to_string(total_chunks / static_cast<std::size_t>(
+                                           small_mode() ? 4 : 10)),
+         TablePrinter::fmt(static_cast<double>(sys->total_logical_bytes()) /
+                               static_cast<double>(total_chunks) / 1024.0,
+                           2) +
+             " KB"});
+  }
+  c1_table.print();
+  std::printf("shape: fixed-size chunking collapses under byte-shifting "
+              "edits; every CDC variant sustains the dedup ratio.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one artifact of the paper's evaluation
+// (EXPERIMENTS.md maps them). Conventions:
+//   * the four workload profiles run at the scale of DESIGN.md §6 — full
+//     version counts (Table 1), scaled version sizes;
+//   * systems run in metadata-only container mode where chunk payloads are
+//     irrelevant to the metric (every I/O count is identical; verified by
+//     Pipeline.MetadataOnlyModeMatchesIoCounts);
+//   * set HDS_BENCH_SMALL=1 to cut version counts 4× for quick runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/pipeline.h"
+#include "common/stats.h"
+#include "core/hidestore.h"
+#include "index/full_index.h"
+#include "index/silo_index.h"
+#include "index/sparse_index.h"
+#include "workload/generator.h"
+
+namespace hds::bench {
+
+inline bool small_mode() {
+  const char* env = std::getenv("HDS_BENCH_SMALL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::vector<WorkloadProfile> paper_profiles() {
+  std::vector<WorkloadProfile> profiles{
+      WorkloadProfile::kernel(), WorkloadProfile::gcc(),
+      WorkloadProfile::fslhomes(), WorkloadProfile::macos()};
+  if (small_mode()) {
+    for (auto& p : profiles) {
+      p.versions = std::max<std::uint32_t>(8, p.versions / 4);
+    }
+  }
+  return profiles;
+}
+
+inline std::vector<VersionStream> generate_chain(const WorkloadProfile& p) {
+  VersionChainGenerator gen(p);
+  std::vector<VersionStream> out;
+  out.reserve(p.versions);
+  for (std::uint32_t v = 0; v < p.versions; ++v) {
+    out.push_back(gen.next_version());
+  }
+  return out;
+}
+
+// A baseline pipeline in metadata-only mode (fast, I/O-count-identical).
+inline std::unique_ptr<DedupPipeline> meta_baseline(BaselineKind kind) {
+  PipelineConfig config;
+  config.materialize_contents = false;
+  return make_baseline(kind, config);
+}
+
+// HiDeStore in metadata-only mode with the window matched to the profile.
+inline std::unique_ptr<HiDeStore> meta_hidestore(
+    const WorkloadProfile& profile) {
+  HiDeStoreConfig config;
+  config.materialize_contents = false;
+  config.cache_window = profile.skip_rate > 0 ? 2 : 1;
+  return std::make_unique<HiDeStore>(config);
+}
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_expectation) {
+  std::printf("\n=== %s — %s ===\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n\n", paper_expectation.c_str());
+}
+
+inline std::string pct(double ratio) {
+  return TablePrinter::fmt(ratio * 100.0, 2) + "%";
+}
+
+}  // namespace hds::bench

@@ -1,0 +1,56 @@
+// E5 — Figure 10: index-table space overhead per MB of backed-up data.
+//
+// Expected shape: DDFS highest (full fingerprint table grows with unique
+// chunks), Sparse lower (hook sampling), SiLo lower still (one
+// representative per segment), HiDeStore ≈ 0 — the previous version's
+// indexes live in its recipe, which the system stores anyway, so no
+// dedicated index table exists. We also print HiDeStore's *transient*
+// fingerprint-cache bound for honesty (§4.1: ~28 B × one-two versions).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hds;
+  using namespace hds::bench;
+
+  print_header("E5 / Figure 10", "index space overhead per MB",
+               "DDFS ≫ Sparse > SiLo > HiDeStore ≈ 0 (no index table; "
+               "recipe of the previous version serves as the index)");
+
+  TablePrinter table({"dataset", "ddfs B/MB", "sparse B/MB", "silo B/MB",
+                      "hidestore B/MB", "hds transient cache"});
+
+  for (const auto& profile : paper_profiles()) {
+    const auto chain = generate_chain(profile);
+
+    auto ddfs = meta_baseline(BaselineKind::kDdfs);
+    auto sparse = meta_baseline(BaselineKind::kSparse);
+    auto silo = meta_baseline(BaselineKind::kSilo);
+    auto hidestore = meta_hidestore(profile);
+
+    std::uint64_t logical = 0;
+    std::uint64_t peak_cache = 0;
+    for (const auto& vs : chain) {
+      logical += vs.logical_bytes();
+      (void)ddfs->backup(vs);
+      (void)sparse->backup(vs);
+      (void)silo->backup(vs);
+      (void)hidestore->backup(vs);
+      peak_cache = std::max(peak_cache, hidestore->cache_memory_bytes());
+    }
+    const double mb = static_cast<double>(logical) / (1024.0 * 1024.0);
+
+    table.add_row(
+        {profile.name,
+         TablePrinter::fmt(
+             static_cast<double>(ddfs->index().memory_bytes()) / mb, 1),
+         TablePrinter::fmt(
+             static_cast<double>(sparse->index().memory_bytes()) / mb, 1),
+         TablePrinter::fmt(
+             static_cast<double>(silo->index().memory_bytes()) / mb, 1),
+         "0.0",
+         TablePrinter::fmt(static_cast<double>(peak_cache) / 1024.0, 0) +
+             " KB peak"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E6 — Figure 11: restore speed factor (MB per container read) per version.
+//
+// Configurations as in the paper (§5.3):
+//   * baseline  — SiLo, no rewriting, FAA restore cache;
+//   * capping   — SiLo + capping rewriting, FAA;
+//   * alacc+fbw — SiLo + ALACC's rewriting (CBR-style budgeted), restored
+//                 through the FBW future-knowledge chunk cache;
+//   * hidestore — HiDeStore, FAA.
+// Expected shape: HiDeStore clearly highest on the NEWEST versions (up to
+// 1.6× ALACC in the paper) and degrading toward the OLDEST versions — the
+// deliberate trade the paper makes (new backups restore most often).
+#include "bench/bench_util.h"
+#include "restore/faa.h"
+#include "restore/fbw_cache.h"
+
+namespace {
+
+using namespace hds;
+using namespace hds::bench;
+
+RestoreConfig restore_config() {
+  RestoreConfig config;
+  config.memory_budget = 32 * 1024 * 1024;
+  config.container_size = kDefaultContainerSize;
+  config.lookahead_chunks = 8 * 1024;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E6 / Figure 11", "restore speed factor per version",
+               "HiDeStore up to 1.6x ALACC on new versions, at the cost of "
+               "the oldest versions; rewriting schemes sit between the "
+               "no-rewrite baseline and HiDeStore on new versions");
+
+  const auto sink = [](const ChunkLoc&, std::span<const std::uint8_t>) {};
+
+  for (const auto& profile : paper_profiles()) {
+    const auto chain = generate_chain(profile);
+
+    auto baseline = meta_baseline(BaselineKind::kSilo);
+    auto capping = meta_baseline(BaselineKind::kSiloCapping);
+    auto alacc = meta_baseline(BaselineKind::kSiloAlacc);
+    auto hidestore = meta_hidestore(profile);
+    for (const auto& vs : chain) {
+      (void)baseline->backup(vs);
+      (void)capping->backup(vs);
+      (void)alacc->backup(vs);
+      (void)hidestore->backup(vs);
+    }
+
+    const auto config = restore_config();
+    std::printf("--- %s ---\n", profile.name.c_str());
+    TablePrinter table({"version", "baseline(faa)", "capping(faa)",
+                        "alacc+fbw", "hidestore(faa)"});
+
+    const std::size_t n = chain.size();
+    std::vector<double> newest(4, 0.0);
+    for (std::size_t v = 1; v <= n;
+         v += std::max<std::size_t>(1, n / 8)) {
+      FaaRestore faa_a(config), faa_b(config), faa_d(config);
+      FbwRestore fbw(config);
+      const double speeds[4] = {
+          baseline->restore_with(static_cast<VersionId>(v), faa_a, sink)
+              .stats.speed_factor(),
+          capping->restore_with(static_cast<VersionId>(v), faa_b, sink)
+              .stats.speed_factor(),
+          alacc->restore_with(static_cast<VersionId>(v), fbw, sink)
+              .stats.speed_factor(),
+          hidestore->restore_with(static_cast<VersionId>(v), faa_d, sink)
+              .stats.speed_factor()};
+      std::vector<std::string> row{"v" + std::to_string(v)};
+      for (double s : speeds) row.push_back(TablePrinter::fmt(s, 2));
+      table.add_row(std::move(row));
+    }
+    {
+      // The newest version, always included.
+      FaaRestore faa_a(config), faa_b(config), faa_d(config);
+      FbwRestore fbw(config);
+      newest[0] = baseline->restore_with(static_cast<VersionId>(n), faa_a,
+                                         sink)
+                      .stats.speed_factor();
+      newest[1] = capping->restore_with(static_cast<VersionId>(n), faa_b,
+                                        sink)
+                      .stats.speed_factor();
+      newest[2] =
+          alacc->restore_with(static_cast<VersionId>(n), fbw, sink)
+              .stats.speed_factor();
+      newest[3] = hidestore->restore_with(static_cast<VersionId>(n), faa_d,
+                                          sink)
+                      .stats.speed_factor();
+      std::vector<std::string> row{"v" + std::to_string(n) + " (newest)"};
+      for (double s : newest) row.push_back(TablePrinter::fmt(s, 2));
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("newest-version speedup: hidestore/alacc+fbw = %.2fx, "
+                "hidestore/baseline = %.2fx\n\n",
+                newest[2] == 0 ? 0.0 : newest[3] / newest[2],
+                newest[0] == 0 ? 0.0 : newest[3] / newest[0]);
+  }
+  return 0;
+}

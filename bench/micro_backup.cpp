@@ -1,0 +1,82 @@
+// Micro-benchmarks: end-to-end backup ingest rate per system — the
+// wall-clock complement to Figure 9's lookup-count proxy for dedup
+// throughput. Measures a steady-state incremental version (high duplicate
+// fraction, the common case), metadata-only containers.
+#include <benchmark/benchmark.h>
+
+#include "backup/pipeline.h"
+#include "core/hidestore.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace hds;
+
+// Warm a system with `warm` versions, then measure ingesting further ones.
+template <typename MakeSystem>
+void run_backup_bench(benchmark::State& state, MakeSystem make_system) {
+  auto profile = WorkloadProfile::kernel();
+  profile.chunks_per_version = 2048;
+  profile.versions = 1000;
+
+  auto sys = make_system();
+  VersionChainGenerator gen(profile);
+  for (int v = 0; v < 8; ++v) (void)sys->backup(gen.next_version());
+
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto stream = gen.next_version();
+    state.ResumeTiming();
+    const auto report = sys->backup(stream);
+    bytes += report.logical_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+PipelineConfig meta_config() {
+  PipelineConfig config;
+  config.materialize_contents = false;
+  return config;
+}
+
+void BM_Backup_Ddfs(benchmark::State& state) {
+  run_backup_bench(state,
+                   [] { return make_baseline(BaselineKind::kDdfs,
+                                             meta_config()); });
+}
+BENCHMARK(BM_Backup_Ddfs);
+
+void BM_Backup_Sparse(benchmark::State& state) {
+  run_backup_bench(state,
+                   [] { return make_baseline(BaselineKind::kSparse,
+                                             meta_config()); });
+}
+BENCHMARK(BM_Backup_Sparse);
+
+void BM_Backup_Silo(benchmark::State& state) {
+  run_backup_bench(state,
+                   [] { return make_baseline(BaselineKind::kSilo,
+                                             meta_config()); });
+}
+BENCHMARK(BM_Backup_Silo);
+
+void BM_Backup_SiloCapping(benchmark::State& state) {
+  run_backup_bench(state, [] {
+    return make_baseline(BaselineKind::kSiloCapping, meta_config());
+  });
+}
+BENCHMARK(BM_Backup_SiloCapping);
+
+void BM_Backup_HiDeStore(benchmark::State& state) {
+  run_backup_bench(state, [] {
+    HiDeStoreConfig config;
+    config.materialize_contents = false;
+    return std::make_unique<HiDeStore>(config);
+  });
+}
+BENCHMARK(BM_Backup_HiDeStore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

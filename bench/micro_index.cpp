@@ -1,0 +1,103 @@
+// Micro-benchmarks: fingerprint-index probe costs — the per-chunk price of
+// each dedup decision engine, plus HiDeStore's double-hash cache.
+#include <benchmark/benchmark.h>
+
+#include "core/double_cache.h"
+#include "index/bloom_filter.h"
+#include "index/full_index.h"
+#include "index/silo_index.h"
+#include "index/sparse_index.h"
+
+namespace {
+
+using namespace hds;
+
+std::vector<ChunkRecord> segment_of(std::uint64_t base, std::size_t n) {
+  std::vector<ChunkRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ChunkRecord rec;
+    rec.fp = Fingerprint::from_seed(base + i);
+    rec.size = 4096;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<RecipeEntry> entries_for(const std::vector<ChunkRecord>& chunks,
+                                     ContainerId cid) {
+  std::vector<RecipeEntry> out;
+  out.reserve(chunks.size());
+  for (const auto& c : chunks) out.push_back({c.fp, cid, c.size});
+  return out;
+}
+
+void BM_BloomFilter(benchmark::State& state) {
+  BloomFilter bloom(1 << 20);
+  for (std::uint64_t i = 0; i < (1 << 16); ++i) {
+    bloom.insert(Fingerprint::from_seed(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.may_contain(Fingerprint::from_seed(i)));
+    ++i;
+  }
+}
+BENCHMARK(BM_BloomFilter);
+
+template <typename Index>
+void run_index_benchmark(benchmark::State& state, Index& index) {
+  // Warm the index with 32 segments, then measure re-deduplication.
+  std::vector<std::vector<ChunkRecord>> segments;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    segments.push_back(segment_of(s * 2048, 2048));
+    (void)index.dedup_segment(segments.back());
+    index.finish_segment(
+        entries_for(segments.back(), static_cast<ContainerId>(s + 1)));
+  }
+  std::size_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.dedup_segment(segments[s % 32]));
+    ++s;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2048);
+}
+
+void BM_FullIndexDedup(benchmark::State& state) {
+  FullIndex index;
+  run_index_benchmark(state, index);
+}
+BENCHMARK(BM_FullIndexDedup);
+
+void BM_SparseIndexDedup(benchmark::State& state) {
+  SparseIndex index;
+  run_index_benchmark(state, index);
+}
+BENCHMARK(BM_SparseIndexDedup);
+
+void BM_SiloIndexDedup(benchmark::State& state) {
+  SiLoIndex index;
+  run_index_benchmark(state, index);
+}
+BENCHMARK(BM_SiloIndexDedup);
+
+void BM_DoubleCacheLookup(benchmark::State& state) {
+  DoubleHashFingerprintCache cache;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    cache.insert_unique(Fingerprint::from_seed(i), 1, 4096);
+  }
+  (void)cache.rotate();  // all entries now in T1
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup_and_promote(Fingerprint::from_seed(i % 8192)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DoubleCacheLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Quickstart: the whole HiDeStore public API in one file.
+//
+//   1. make backup data (three evolving versions of a byte stream);
+//   2. chunk it with TTTD and fingerprint with SHA-1 (chunk_bytes);
+//   3. back the versions up into a HiDeStore instance;
+//   4. restore the newest version and verify it byte-for-byte;
+//   5. look at the numbers: dedup ratio, container reads, speed factor.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/tttd.h"
+#include "core/hidestore.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace hds;
+
+  // --- 1. three versions of a 2 MiB stream, ~6% edited per version ---
+  ByteStreamWorkload workload(/*seed=*/42, /*initial_bytes=*/2 * MiB);
+  std::vector<std::vector<std::uint8_t>> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(workload.next_version(/*edit_rate=*/0.06));
+  }
+
+  // --- 2+3. chunk, fingerprint, back up ---
+  HiDeStore store;  // default config: 4 MiB containers, window 1, FAA
+  TttdChunker chunker;
+  for (const auto& bytes : versions) {
+    const VersionStream stream = chunk_bytes(chunker, bytes);
+    const BackupReport report = store.backup(stream);
+    std::printf("backup v%u: %5.2f MB logical, %5.2f MB stored, "
+                "%zu chunks, %llu index lookups\n",
+                report.version,
+                static_cast<double>(report.logical_bytes) / (1 << 20),
+                static_cast<double>(report.stored_bytes) / (1 << 20),
+                static_cast<std::size_t>(report.logical_chunks),
+                static_cast<unsigned long long>(report.disk_lookups));
+  }
+
+  // --- 4. restore the newest version, byte-exact ---
+  std::vector<std::uint8_t> restored;
+  const RestoreReport report = store.restore(
+      store.latest_version(),
+      [&](const ChunkLoc&, std::span<const std::uint8_t> bytes) {
+        restored.insert(restored.end(), bytes.begin(), bytes.end());
+      });
+  const bool exact = restored == versions.back();
+
+  // --- 5. the numbers ---
+  std::printf("\nrestore v%u: %s, %llu container reads, "
+              "speed factor %.2f MB/read\n",
+              store.latest_version(), exact ? "byte-exact" : "MISMATCH",
+              static_cast<unsigned long long>(report.stats.container_reads),
+              report.stats.speed_factor());
+  std::printf("dedup ratio across all versions: %.2f%%\n",
+              store.dedup_ratio() * 100.0);
+  std::printf("index memory: 0 bytes (HiDeStore keeps no index table; "
+              "transient cache peaked at %.0f KB)\n",
+              static_cast<double>(store.cache_memory_bytes()) / 1024.0);
+  return exact ? 0 : 1;
+}

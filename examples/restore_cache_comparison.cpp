@@ -1,0 +1,73 @@
+// restore_cache_comparison: every restore cache on the same fragmented
+// archive, same memory budget.
+//
+// Builds a deliberately fragmented store (40 versions, no rewriting) and
+// restores the newest version under each policy: no cache, container LRU,
+// chunk LRU, FAA, ALACC, and the FBW-style future-knowledge cache. This is
+// the §2.3 landscape the paper surveys before arguing that caches alone
+// cannot fix fragmentation — compare all of them against the HiDeStore row
+// at the bottom, which fixes the *layout* instead.
+#include <cstdio>
+
+#include "backup/pipeline.h"
+#include "common/stats.h"
+#include "core/hidestore.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace hds;
+
+  auto profile = WorkloadProfile::kernel();
+  profile.versions = 40;
+  profile.chunks_per_version = 2048;
+  VersionChainGenerator gen(profile);
+  std::vector<VersionStream> versions;
+  for (std::uint32_t v = 0; v < profile.versions; ++v) {
+    versions.push_back(gen.next_version());
+  }
+
+  auto baseline = make_baseline(BaselineKind::kDdfs);
+  HiDeStore hidestore;
+  for (const auto& vs : versions) {
+    (void)baseline->backup(vs);
+    (void)hidestore.backup(vs);
+  }
+
+  const auto newest = static_cast<VersionId>(versions.size());
+  const auto sink = [](const ChunkLoc&, std::span<const std::uint8_t>) {};
+
+  RestoreConfig config;
+  config.memory_budget = 16 * 1024 * 1024;  // identical for every policy
+  config.lookahead_chunks = 4096;
+
+  std::printf("fragmented archive: %zu versions, newest = v%u "
+              "(%.1f MB logical), cache budget 16 MB\n\n",
+              versions.size(), newest,
+              static_cast<double>(versions.back().logical_bytes()) /
+                  (1 << 20));
+
+  TablePrinter table(
+      {"policy", "container reads", "cache hits", "speed factor"});
+  for (auto kind : {RestorePolicyKind::kNoCache,
+                    RestorePolicyKind::kContainerLru,
+                    RestorePolicyKind::kChunkLru, RestorePolicyKind::kFaa,
+                    RestorePolicyKind::kAlacc, RestorePolicyKind::kFbw}) {
+    auto policy = make_restore_policy(kind, config);
+    const auto report = baseline->restore_with(newest, *policy, sink);
+    table.add_row({std::string(policy->name()),
+                   std::to_string(report.stats.container_reads),
+                   std::to_string(report.stats.cache_hits),
+                   TablePrinter::fmt(report.stats.speed_factor(), 2)});
+  }
+  {
+    // The paper's answer: fix the physical layout, then any cache wins.
+    auto policy = make_restore_policy(RestorePolicyKind::kFaa, config);
+    const auto report = hidestore.restore_with(newest, *policy, sink);
+    table.add_row({"hidestore+faa",
+                   std::to_string(report.stats.container_reads),
+                   std::to_string(report.stats.cache_hits),
+                   TablePrinter::fmt(report.stats.speed_factor(), 2)});
+  }
+  table.print();
+  return 0;
+}

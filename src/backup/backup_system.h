@@ -1,0 +1,83 @@
+// BackupSystem: the public face of a deduplicating backup store.
+//
+// A system ingests backup versions (chunk streams), eliminates duplicates,
+// persists unique chunks into containers, and can restore any retained
+// version. Implementations:
+//   * DedupPipeline (src/backup) — the classic architecture (Destor-style):
+//     pluggable fingerprint index + optional rewriting filter;
+//   * HiDeStore (src/core) — the paper's contribution.
+//
+// Reports carry exactly the quantities the paper's evaluation plots:
+// dedup ratio (Fig 8), disk lookups per GB (Fig 9), index memory per MB
+// (Fig 10), and restore speed factor (Fig 11).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/chunk.h"
+#include "restore/restorer.h"
+#include "storage/recipe.h"
+
+namespace hds {
+
+struct BackupReport {
+  VersionId version = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t logical_chunks = 0;
+  std::uint64_t stored_bytes = 0;  // written this version (unique + rewrites)
+  std::uint64_t stored_chunks = 0;
+  std::uint64_t rewritten_bytes = 0;
+  std::uint64_t rewritten_chunks = 0;
+  std::uint64_t disk_lookups = 0;         // index I/O this version
+  std::uint64_t index_memory_bytes = 0;   // index table footprint snapshot
+  double elapsed_ms = 0;
+
+  // Destor's throughput proxy (Fig 9): on-disk index lookups per GB backed
+  // up this version.
+  [[nodiscard]] double lookups_per_gb() const noexcept {
+    if (logical_bytes == 0) return 0.0;
+    return static_cast<double>(disk_lookups) /
+           (static_cast<double>(logical_bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+};
+
+struct RestoreReport {
+  VersionId version = 0;
+  RestoreStats stats;
+  double elapsed_ms = 0;
+};
+
+class BackupSystem {
+ public:
+  virtual ~BackupSystem() = default;
+
+  // Ingests the next backup version; versions are numbered 1, 2, ... in
+  // arrival order.
+  virtual BackupReport backup(const VersionStream& stream) = 0;
+
+  // Restores a retained version, emitting chunks in stream order.
+  virtual RestoreReport restore(VersionId version, const ChunkSink& sink) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  // --- Cumulative accounting (across all versions backed up so far) ---
+  [[nodiscard]] std::uint64_t total_logical_bytes() const noexcept {
+    return total_logical_bytes_;
+  }
+  [[nodiscard]] std::uint64_t total_stored_bytes() const noexcept {
+    return total_stored_bytes_;
+  }
+  // Paper §5.2.1: eliminated data / total data.
+  [[nodiscard]] double dedup_ratio() const noexcept {
+    if (total_logical_bytes_ == 0) return 0.0;
+    return 1.0 - static_cast<double>(total_stored_bytes_) /
+                     static_cast<double>(total_logical_bytes_);
+  }
+
+ protected:
+  std::uint64_t total_logical_bytes_ = 0;
+  std::uint64_t total_stored_bytes_ = 0;
+};
+
+}  // namespace hds

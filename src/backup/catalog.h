@@ -1,0 +1,50 @@
+// FileCatalog: file-level metadata over the chunk-level backup stream.
+//
+// A backup version is one logical byte stream to the dedup engine, but a
+// set of files to the user. The catalog records, per version, each file's
+// path and byte range within the stream, so single files can be restored
+// via restore_byte_range without touching the rest of the snapshot.
+// Serialized as a CRC-guarded binary blob alongside the repository state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/recipe.h"
+
+namespace hds {
+
+struct CatalogEntry {
+  std::string path;
+  std::uint64_t offset = 0;  // into the version's logical stream
+  std::uint64_t length = 0;
+};
+
+class FileCatalog {
+ public:
+  void add_version(VersionId version, std::vector<CatalogEntry> files);
+  bool erase_version(VersionId version);
+
+  [[nodiscard]] const std::vector<CatalogEntry>* files(
+      VersionId version) const noexcept;
+  // Looks up one file's range within a version.
+  [[nodiscard]] std::optional<CatalogEntry> find(VersionId version,
+                                                 std::string_view path) const;
+
+  [[nodiscard]] std::size_t version_count() const noexcept {
+    return versions_.size();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<FileCatalog> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::unordered_map<VersionId, std::vector<CatalogEntry>> versions_;
+};
+
+}  // namespace hds

@@ -1,0 +1,109 @@
+#include "backup/gc.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace hds {
+
+GcReport collect_garbage(DedupPipeline& pipeline, VersionId expire_upto,
+                         const GcConfig& config) {
+  Stopwatch timer;
+  GcReport report;
+  auto& recipes = pipeline.mutable_recipes();
+  auto& store = pipeline.store();
+
+  // Never expire the newest version.
+  const auto versions = recipes.versions();
+  if (versions.empty()) return report;
+  const VersionId newest = versions.back();
+
+  for (const VersionId v : versions) {
+    if (v <= expire_upto && v < newest && recipes.erase(v)) {
+      report.versions_deleted++;
+    }
+  }
+
+  // --- MARK ---
+  std::unordered_set<Fingerprint> live;
+  for (const VersionId v : recipes.versions()) {
+    for (const auto& e : recipes.get(v)->entries()) {
+      live.insert(e.fp);
+      report.chunks_marked++;
+    }
+  }
+
+  // --- SWEEP ---
+  std::unordered_map<Fingerprint, ContainerId> remap;
+  std::unordered_set<Fingerprint> erased;
+  auto ids = store.ids();
+  std::sort(ids.begin(), ids.end());
+  for (const ContainerId cid : ids) {
+    const auto container = store.read(cid);
+    if (!container) continue;
+
+    std::uint64_t dead_bytes = 0;
+    std::vector<std::pair<std::uint32_t, Fingerprint>> live_chunks;
+    for (const auto& [fp, entry] : container->entries()) {
+      report.chunks_scanned++;
+      if (live.contains(fp)) {
+        live_chunks.emplace_back(entry.offset, fp);
+      } else {
+        dead_bytes += entry.size;
+      }
+    }
+    if (dead_bytes == 0) continue;
+
+    if (live_chunks.empty()) {
+      // Fully dead: drop the container outright.
+      report.bytes_reclaimed += container->used_bytes();
+      for (const auto& [fp, entry] : container->entries()) erased.insert(fp);
+      store.erase(cid);
+      report.containers_erased++;
+      continue;
+    }
+
+    const double dead_fraction =
+        static_cast<double>(dead_bytes) /
+        static_cast<double>(container->used_bytes());
+    if (dead_fraction < config.rewrite_dead_fraction) continue;
+
+    // Mixed container worth rewriting: copy live chunks (in their original
+    // physical order) into a fresh container and retire the old one.
+    std::sort(live_chunks.begin(), live_chunks.end());
+    Container fresh(store.reserve_id(), container->capacity());
+    for (const auto& [offset, fp] : live_chunks) {
+      (void)offset;
+      const auto bytes = container->read(fp);
+      if (!bytes || !fresh.fits(bytes->size())) continue;
+      fresh.add(fp, *bytes);
+      remap[fp] = fresh.id();
+    }
+    for (const auto& [fp, entry] : container->entries()) {
+      if (!remap.contains(fp)) erased.insert(fp);
+    }
+    report.bytes_reclaimed += dead_bytes;
+    store.put(std::move(fresh));
+    store.erase(cid);
+    report.containers_rewritten++;
+  }
+
+  // --- REMAP ---
+  for (const VersionId v : recipes.versions()) {
+    for (auto& e : recipes.get(v)->entries()) {
+      const auto it = remap.find(e.fp);
+      if (it != remap.end() && e.cid != it->second) {
+        e.cid = it->second;
+        report.recipe_entries_remapped++;
+      }
+    }
+  }
+  pipeline.mutable_index().apply_gc(remap, erased);
+
+  report.elapsed_ms = timer.elapsed_ms();
+  return report;
+}
+
+}  // namespace hds

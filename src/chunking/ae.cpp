@@ -1,0 +1,69 @@
+#include "chunking/ae.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace hds {
+
+namespace {
+// Byte-value randomization table so runs of identical bytes do not defeat
+// the extremum search.
+const std::array<std::uint64_t, 256>& value_table() {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    SplitMix64 mix(0x41452D434443ULL);  // "AE-CDC"
+    for (auto& v : t) v = mix.next();
+    return t;
+  }();
+  return table;
+}
+}  // namespace
+
+AeChunker::AeChunker(const ChunkerParams& params)
+    : min_size_(params.min_size), max_size_(params.max_size) {
+  // Expected chunk size of AE is w*(e-1)+1 ≈ 1.718*w for random input, so
+  // w = avg / (e-1).
+  window_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(params.avg_size) /
+                                  1.71828));
+}
+
+void AeChunker::chunk(std::span<const std::uint8_t> data,
+                      std::vector<std::size_t>& lengths) const {
+  const auto& values = value_table();
+  std::size_t chunk_start = 0;
+  while (chunk_start < data.size()) {
+    std::uint64_t rolling = 0;
+    std::uint64_t max_value = 0;
+    std::size_t max_pos = chunk_start;
+    std::size_t cut = 0;
+    const std::size_t end = std::min(data.size(), chunk_start + max_size_);
+    for (std::size_t i = chunk_start; i < end; ++i) {
+      // Mix a short history so the extremum reflects local content, not a
+      // single byte.
+      rolling = (rolling << 7) + values[data[i]];
+      if (i < chunk_start + min_size_) {
+        // Positions below the minimum cannot become boundaries but still
+        // participate as extremum candidates.
+        if (rolling >= max_value) {
+          max_value = rolling;
+          max_pos = i;
+        }
+        continue;
+      }
+      if (rolling > max_value) {
+        max_value = rolling;
+        max_pos = i;
+      } else if (i - max_pos >= window_) {
+        cut = i - chunk_start + 1;
+        break;
+      }
+    }
+    if (cut == 0) cut = end - chunk_start;  // forced cut at max/end
+    lengths.push_back(cut);
+    chunk_start += cut;
+  }
+}
+
+}  // namespace hds

@@ -1,0 +1,30 @@
+// AE — Asymmetric Extremum chunking (Zhang et al., INFOCOM'15).
+//
+// Declares a boundary when a byte position holds the maximum hash value of
+// an asymmetric window: nothing to its left within the current chunk exceeds
+// it, and a fixed-width window to its right contains no larger value. AE
+// needs no divisor test and no backup window, giving a very tight size
+// distribution with one comparison per byte.
+#pragma once
+
+#include "chunking/chunker.h"
+
+namespace hds {
+
+class AeChunker final : public Chunker {
+ public:
+  explicit AeChunker(const ChunkerParams& params = {});
+
+  void chunk(std::span<const std::uint8_t> data,
+             std::vector<std::size_t>& lengths) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ae";
+  }
+
+ private:
+  std::size_t window_;  // right-hand window width (≈ avg/(e-1))
+  std::size_t min_size_;
+  std::size_t max_size_;
+};
+
+}  // namespace hds

@@ -1,0 +1,21 @@
+#include "chunking/chunk_stream.h"
+
+#include "common/sha1.h"
+
+namespace hds {
+
+VersionStream chunk_bytes(const Chunker& chunker,
+                          std::span<const std::uint8_t> data) {
+  VersionStream stream;
+  for (auto piece : chunker.split(data)) {
+    ChunkRecord rec;
+    rec.fp = Sha1::digest(piece);
+    rec.size = static_cast<std::uint32_t>(piece.size());
+    rec.data = std::make_shared<const std::vector<std::uint8_t>>(
+        piece.begin(), piece.end());
+    stream.chunks.push_back(std::move(rec));
+  }
+  return stream;
+}
+
+}  // namespace hds

@@ -1,0 +1,18 @@
+// Bridges raw byte buffers to the pipeline's ChunkRecord representation:
+// chunk → SHA-1 → ChunkRecord with shared content bytes.
+#pragma once
+
+#include <span>
+
+#include "chunking/chunker.h"
+#include "common/chunk.h"
+
+namespace hds {
+
+// Chunks `data` with `chunker` and fingerprints each chunk with SHA-1.
+// The returned records own copies of their bytes (shared_ptr), so the input
+// buffer may be discarded afterwards.
+[[nodiscard]] VersionStream chunk_bytes(const Chunker& chunker,
+                                        std::span<const std::uint8_t> data);
+
+}  // namespace hds

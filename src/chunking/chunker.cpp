@@ -1,0 +1,44 @@
+#include "chunking/chunker.h"
+
+#include <stdexcept>
+
+#include "chunking/ae.h"
+#include "chunking/fastcdc.h"
+#include "chunking/fixed.h"
+#include "chunking/rabin.h"
+#include "chunking/tttd.h"
+
+namespace hds {
+
+std::vector<std::span<const std::uint8_t>> Chunker::split(
+    std::span<const std::uint8_t> data) const {
+  std::vector<std::size_t> lengths;
+  chunk(data, lengths);
+  std::vector<std::span<const std::uint8_t>> out;
+  out.reserve(lengths.size());
+  std::size_t offset = 0;
+  for (std::size_t len : lengths) {
+    out.push_back(data.subspan(offset, len));
+    offset += len;
+  }
+  return out;
+}
+
+std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
+                                      const ChunkerParams& params) {
+  switch (kind) {
+    case ChunkerKind::kFixed:
+      return std::make_unique<FixedChunker>(params);
+    case ChunkerKind::kRabin:
+      return std::make_unique<RabinChunker>(params);
+    case ChunkerKind::kTttd:
+      return std::make_unique<TttdChunker>(params);
+    case ChunkerKind::kFastCdc:
+      return std::make_unique<FastCdcChunker>(params);
+    case ChunkerKind::kAe:
+      return std::make_unique<AeChunker>(params);
+  }
+  throw std::invalid_argument("unknown ChunkerKind");
+}
+
+}  // namespace hds

@@ -1,0 +1,50 @@
+// Chunker: splits a byte stream into variable-size chunks.
+//
+// Content-defined chunking (CDC) places chunk boundaries at positions chosen
+// by the *content* (a rolling hash satisfying a divisor test), so an insert
+// or delete early in a file only shifts boundaries locally — the
+// boundary-shift resistance that makes dedup between versions effective
+// (paper §2.1, §6). Fixed-size chunking is provided as the classic
+// non-CDC baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hds {
+
+struct ChunkerParams {
+  std::size_t min_size = kDefaultMinChunkSize;
+  std::size_t avg_size = kDefaultAvgChunkSize;
+  std::size_t max_size = kDefaultMaxChunkSize;
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  // Appends the lengths of the chunks covering `data` (sum == data.size()).
+  // The final chunk may be shorter than min_size.
+  virtual void chunk(std::span<const std::uint8_t> data,
+                     std::vector<std::size_t>& lengths) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  // Convenience: returns chunk views into `data`.
+  [[nodiscard]] std::vector<std::span<const std::uint8_t>> split(
+      std::span<const std::uint8_t> data) const;
+};
+
+enum class ChunkerKind { kFixed, kRabin, kTttd, kFastCdc, kAe };
+
+// Factory covering every implemented algorithm.
+[[nodiscard]] std::unique_ptr<Chunker> make_chunker(
+    ChunkerKind kind, const ChunkerParams& params = {});
+
+}  // namespace hds

@@ -1,0 +1,88 @@
+#include "chunking/fastcdc.h"
+
+#include <array>
+#include <bit>
+
+#include "common/rng.h"
+
+namespace hds {
+
+namespace {
+// Gear table: 256 random 64-bit values, fixed for reproducibility.
+const std::array<std::uint64_t, 256>& gear_table() {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    SplitMix64 mix(0x46617374434443ULL);  // "FastCDC"
+    for (auto& v : t) v = mix.next();
+    return t;
+  }();
+  return table;
+}
+
+// A mask with `bits` one-bits spread across the high half of the word, per
+// the FastCDC paper's observation that spread bits discriminate better than
+// a dense low mask for the Gear hash (whose low bits mix slowly).
+std::uint64_t spread_mask(int bits) {
+  std::uint64_t mask = 0;
+  SplitMix64 mix(0x6D61736BULL + static_cast<std::uint64_t>(bits));
+  int set = 0;
+  while (set < bits) {
+    const int pos = 16 + static_cast<int>(mix.next() % 48);
+    const std::uint64_t bit = 1ULL << pos;
+    if (!(mask & bit)) {
+      mask |= bit;
+      ++set;
+    }
+  }
+  return mask;
+}
+}  // namespace
+
+FastCdcChunker::FastCdcChunker(const ChunkerParams& params)
+    : min_size_(params.min_size),
+      normal_size_(params.avg_size),
+      max_size_(params.max_size) {
+  const int bits = std::max(1, static_cast<int>(std::bit_width(params.avg_size)) - 1);
+  mask_small_ = spread_mask(bits + 2);
+  mask_large_ = spread_mask(std::max(1, bits - 2));
+}
+
+void FastCdcChunker::chunk(std::span<const std::uint8_t> data,
+                           std::vector<std::size_t>& lengths) const {
+  const auto& gear = gear_table();
+  std::size_t chunk_start = 0;
+  while (chunk_start < data.size()) {
+    const std::size_t remaining = data.size() - chunk_start;
+    if (remaining <= min_size_) {
+      lengths.push_back(remaining);
+      break;
+    }
+    const std::size_t limit = std::min(remaining, max_size_);
+    const std::size_t normal = std::min(limit, normal_size_);
+
+    std::uint64_t h = 0;
+    std::size_t cut = limit;  // default: forced cut at max/end
+    // FastCDC skips the hash entirely below min_size (cut cannot land there).
+    std::size_t i = min_size_;
+    for (; i < normal; ++i) {
+      h = (h << 1) + gear[data[chunk_start + i]];
+      if ((h & mask_small_) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    if (cut == limit) {
+      for (; i < limit; ++i) {
+        h = (h << 1) + gear[data[chunk_start + i]];
+        if ((h & mask_large_) == 0) {
+          cut = i + 1;
+          break;
+        }
+      }
+    }
+    lengths.push_back(cut);
+    chunk_start += cut;
+  }
+}
+
+}  // namespace hds

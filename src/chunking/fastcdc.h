@@ -1,0 +1,31 @@
+// FastCDC (Xia et al., USENIX ATC'16).
+//
+// Replaces Rabin with the cheaper Gear rolling hash and applies *normalized
+// chunking*: a harder mask before the normal size and an easier mask after
+// it, which concentrates the size distribution around the average while
+// skipping the sub-minimum region entirely.
+#pragma once
+
+#include "chunking/chunker.h"
+
+namespace hds {
+
+class FastCdcChunker final : public Chunker {
+ public:
+  explicit FastCdcChunker(const ChunkerParams& params = {});
+
+  void chunk(std::span<const std::uint8_t> data,
+             std::vector<std::size_t>& lengths) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fastcdc";
+  }
+
+ private:
+  std::size_t min_size_;
+  std::size_t normal_size_;
+  std::size_t max_size_;
+  std::uint64_t mask_small_;  // stricter: used before normal_size
+  std::uint64_t mask_large_;  // looser: used after normal_size
+};
+
+}  // namespace hds

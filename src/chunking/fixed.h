@@ -1,0 +1,33 @@
+// Fixed-size chunking: the non-content-defined baseline. A single inserted
+// byte shifts every later boundary, so cross-version dedup collapses — the
+// failure mode CDC exists to avoid.
+#pragma once
+
+#include "chunking/chunker.h"
+
+namespace hds {
+
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(const ChunkerParams& params = {})
+      : size_(params.avg_size) {}
+
+  void chunk(std::span<const std::uint8_t> data,
+             std::vector<std::size_t>& lengths) const override {
+    std::size_t remaining = data.size();
+    while (remaining >= size_) {
+      lengths.push_back(size_);
+      remaining -= size_;
+    }
+    if (remaining > 0) lengths.push_back(remaining);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fixed";
+  }
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace hds

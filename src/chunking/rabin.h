@@ -1,0 +1,56 @@
+// Rabin fingerprinting over GF(2) and Rabin-based CDC.
+//
+// The rolling hash is a polynomial fingerprint modulo an irreducible
+// polynomial of degree 53 (the LBFS polynomial), computed with the classic
+// two-table scheme: an append table reduces the high byte after a shift, a
+// remove table cancels the byte leaving a fixed-size window.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "chunking/chunker.h"
+
+namespace hds {
+
+class RabinHash {
+ public:
+  static constexpr std::uint64_t kPolynomial = 0x3DA3358B4DC173ULL;  // deg 53
+  static constexpr int kDegree = 53;
+  static constexpr std::size_t kWindowSize = 48;
+
+  RabinHash();
+
+  void reset() noexcept;
+
+  // Slides the window one byte forward and returns the new fingerprint.
+  std::uint64_t roll(std::uint8_t in) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return fp_; }
+
+ private:
+  std::uint64_t append(std::uint64_t fp, std::uint8_t b) const noexcept;
+
+  std::array<std::uint64_t, 256> append_table_{};
+  std::array<std::uint64_t, 256> remove_table_{};
+  std::array<std::uint8_t, kWindowSize> window_{};
+  std::size_t pos_ = 0;
+  std::uint64_t fp_ = 0;
+};
+
+class RabinChunker final : public Chunker {
+ public:
+  explicit RabinChunker(const ChunkerParams& params = {});
+
+  void chunk(std::span<const std::uint8_t> data,
+             std::vector<std::size_t>& lengths) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rabin";
+  }
+
+ private:
+  ChunkerParams params_;
+  std::uint64_t mask_;  // boundary when (fp & mask_) == mask_
+};
+
+}  // namespace hds

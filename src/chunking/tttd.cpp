@@ -1,0 +1,51 @@
+#include "chunking/tttd.h"
+
+namespace hds {
+
+TttdChunker::TttdChunker(const ChunkerParams& params)
+    : min_size_(params.min_size), max_size_(params.max_size) {
+  // The HP TR parameters for a 1008-byte average are Tmin=460, Tmax=2800,
+  // D=540, D'=270; we scale the divisors to the requested average. The
+  // divisor test is (fp mod D) == D-1.
+  const std::size_t span =
+      params.avg_size > min_size_ ? params.avg_size - min_size_ : 1;
+  main_divisor_ = std::max<std::uint64_t>(1, span);
+  backup_divisor_ = std::max<std::uint64_t>(1, main_divisor_ / 2);
+}
+
+void TttdChunker::chunk(std::span<const std::uint8_t> data,
+                        std::vector<std::size_t>& lengths) const {
+  RabinHash hash;
+  std::size_t chunk_start = 0;
+  std::size_t backup_len = 0;  // most recent backup-divisor boundary
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t fp = hash.roll(data[i]);
+    ++i;
+    const std::size_t len = i - chunk_start;
+    if (len < min_size_) continue;
+
+    if (fp % main_divisor_ == main_divisor_ - 1) {
+      lengths.push_back(len);
+      chunk_start = i;
+      backup_len = 0;
+      hash.reset();
+      continue;
+    }
+    if (fp % backup_divisor_ == backup_divisor_ - 1) backup_len = len;
+
+    if (len >= max_size_) {
+      // No main boundary found: fall back to the last backup boundary, or
+      // force a cut at the maximum threshold.
+      const std::size_t cut = backup_len != 0 ? backup_len : len;
+      lengths.push_back(cut);
+      chunk_start += cut;
+      i = chunk_start;
+      backup_len = 0;
+      hash.reset();
+    }
+  }
+  if (chunk_start < data.size()) lengths.push_back(data.size() - chunk_start);
+}
+
+}  // namespace hds

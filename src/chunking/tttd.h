@@ -1,0 +1,32 @@
+// TTTD — Two Thresholds, Two Divisors (Eshghi & Tang, HP Labs TR 2005-30).
+//
+// The paper's prototype chunks with TTTD. Beyond plain divisor-test CDC,
+// TTTD adds a *backup divisor* (half as selective): if no main-divisor
+// boundary appears before the maximum threshold, the most recent backup
+// boundary is used instead of a hard cut, which keeps chunk sizes tight
+// around the average without destroying content-definedness at forced cuts.
+#pragma once
+
+#include "chunking/chunker.h"
+#include "chunking/rabin.h"
+
+namespace hds {
+
+class TttdChunker final : public Chunker {
+ public:
+  explicit TttdChunker(const ChunkerParams& params = {});
+
+  void chunk(std::span<const std::uint8_t> data,
+             std::vector<std::size_t>& lengths) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "tttd";
+  }
+
+ private:
+  std::size_t min_size_;
+  std::size_t max_size_;
+  std::uint64_t main_divisor_;
+  std::uint64_t backup_divisor_;
+};
+
+}  // namespace hds

@@ -1,0 +1,30 @@
+#include "common/chunk.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace hds {
+
+void generate_chunk_content(std::uint64_t seed, std::uint32_t size,
+                            std::uint8_t* out) noexcept {
+  SplitMix64 mix(seed ^ 0xC2B2AE3D27D4EB4FULL);
+  std::uint32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint64_t v = mix.next();
+    std::memcpy(out + i, &v, 8);
+  }
+  if (i < size) {
+    const std::uint64_t v = mix.next();
+    std::memcpy(out + i, &v, size - i);
+  }
+}
+
+std::vector<std::uint8_t> ChunkRecord::materialize() const {
+  if (data) return *data;
+  std::vector<std::uint8_t> bytes(size);
+  generate_chunk_content(content_seed, size, bytes.data());
+  return bytes;
+}
+
+}  // namespace hds

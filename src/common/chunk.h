@@ -1,0 +1,46 @@
+// ChunkRecord: one chunk of a backup stream, as seen by the dedup pipeline.
+//
+// A chunk's content comes from one of two places:
+//   * real bytes, produced by a Chunker over a byte stream (examples, tests);
+//   * a deterministic generator seeded by `content_seed`, produced by the
+//     synthetic workload generator. Since the bytes are a pure function of
+//     the seed, restores can be verified bit-exactly without retaining the
+//     logical stream (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace hds {
+
+// Fills `out` with `size` deterministic bytes derived from `seed`.
+void generate_chunk_content(std::uint64_t seed, std::uint32_t size,
+                            std::uint8_t* out) noexcept;
+
+struct ChunkRecord {
+  Fingerprint fp;
+  std::uint32_t size = 0;
+  // Generator seed; meaningful only when `data` is null.
+  std::uint64_t content_seed = 0;
+  // Real bytes (shared across duplicate records); null for synthetic chunks.
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+
+  // Returns the chunk content, synthesizing it from the seed if needed.
+  [[nodiscard]] std::vector<std::uint8_t> materialize() const;
+};
+
+// A whole backup version as a flat chunk sequence plus its logical size.
+struct VersionStream {
+  std::vector<ChunkRecord> chunks;
+
+  [[nodiscard]] std::uint64_t logical_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : chunks) total += c.size;
+    return total;
+  }
+};
+
+}  // namespace hds

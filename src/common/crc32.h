@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven.
+//
+// Used as an integrity checksum on serialized containers and recipes —
+// corruption of on-disk structures must be detected before chunks are handed
+// back to a restore.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hds {
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) noexcept {
+  return crc32(std::span(static_cast<const std::uint8_t*>(data), len), seed);
+}
+
+}  // namespace hds

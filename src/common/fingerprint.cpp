@@ -1,0 +1,50 @@
+#include "common/fingerprint.h"
+
+#include "common/rng.h"
+
+namespace hds {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  std::string out;
+  out.reserve(2 * kFingerprintSize);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+bool Fingerprint::from_hex(std::string_view hex, Fingerprint& out) noexcept {
+  if (hex.size() != 2 * kFingerprintSize) return false;
+  for (std::size_t i = 0; i < kFingerprintSize; ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+Fingerprint Fingerprint::from_seed(std::uint64_t seed) noexcept {
+  Fingerprint fp;
+  SplitMix64 mix(seed);
+  for (std::size_t i = 0; i < kFingerprintSize; i += 8) {
+    const std::uint64_t v = mix.next();
+    const std::size_t n = std::min<std::size_t>(8, kFingerprintSize - i);
+    std::memcpy(fp.bytes.data() + i, &v, n);
+  }
+  return fp;
+}
+
+}  // namespace hds

@@ -1,0 +1,57 @@
+// Fingerprint: the 20-byte SHA-1 digest that identifies a chunk.
+//
+// Deduplication systems identify duplicate chunks by comparing fingerprints
+// instead of chunk contents; the probability of a SHA-1 collision is far
+// below the probability of a hardware error (Zhu et al., FAST'08), so equal
+// fingerprints are treated as equal chunks throughout this codebase.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace hds {
+
+inline constexpr std::size_t kFingerprintSize = 20;
+
+struct Fingerprint {
+  std::array<std::uint8_t, kFingerprintSize> bytes{};
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  // First 8 bytes interpreted little-endian; SHA-1 output is uniformly
+  // distributed, so this prefix is a high-quality 64-bit hash by itself.
+  [[nodiscard]] std::uint64_t prefix64() const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string hex() const;
+
+  // Parses a 40-char hex string. Returns false on malformed input.
+  static bool from_hex(std::string_view hex, Fingerprint& out) noexcept;
+
+  // Builds a synthetic fingerprint from a 64-bit seed (used by trace-driven
+  // workloads where chunk identity is known without hashing real bytes).
+  static Fingerprint from_seed(std::uint64_t seed) noexcept;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.prefix64());
+  }
+};
+
+}  // namespace hds
+
+template <>
+struct std::hash<hds::Fingerprint> {
+  std::size_t operator()(const hds::Fingerprint& fp) const noexcept {
+    return hds::FingerprintHash{}(fp);
+  }
+};

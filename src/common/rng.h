@@ -1,0 +1,70 @@
+// Deterministic pseudo-random generators.
+//
+// Every stochastic component in this repository (workload generation, chunk
+// contents, sampling) draws from these seeded generators so that experiments
+// are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace hds {
+
+// SplitMix64 (Steele et al.): tiny, statistically strong, ideal for seeding
+// and for deriving independent streams from a 64-bit key.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — fast general-purpose generator for workload mutation
+// decisions. Seeded via SplitMix64 per the authors' recommendation.
+class Xoshiro256ss {
+ public:
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Bias is negligible for bound << 2^64.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace hds

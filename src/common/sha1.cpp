@@ -1,0 +1,120 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace hds {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+void Sha1::reset() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_len_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(n, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
+  }
+}
+
+Fingerprint Sha1::finish() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+  std::uint8_t pad = 0x80;
+  update(std::span(&pad, 1));
+  total_len_ -= 1;  // padding does not count toward the message length
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) {
+    update(std::span(&zero, 1));
+    total_len_ -= 1;
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span(len_be, 8));
+
+  Fingerprint fp;
+  for (int i = 0; i < 5; ++i) {
+    fp.bytes[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
+    fp.bytes[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    fp.bytes[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    fp.bytes[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return fp;
+}
+
+}  // namespace hds

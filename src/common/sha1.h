@@ -1,0 +1,53 @@
+// SHA-1, implemented from scratch (FIPS 180-4).
+//
+// The paper (and Destor, DDFS, Sparse Indexing, SiLo) fingerprints chunks
+// with SHA-1. Cryptographic strength is irrelevant here — what matters is a
+// uniformly distributed 160-bit identifier whose collision probability is far
+// below hardware error rates — so a clean, dependency-free implementation is
+// the right tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/fingerprint.h"
+
+namespace hds {
+
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const void* data, std::size_t len) noexcept {
+    update(std::span(static_cast<const std::uint8_t*>(data), len));
+  }
+
+  // Finalizes and returns the digest. The object must be reset() before
+  // reuse; finalization consumes the internal state.
+  [[nodiscard]] Fingerprint finish() noexcept;
+
+  // One-shot convenience.
+  [[nodiscard]] static Fingerprint digest(
+      std::span<const std::uint8_t> data) noexcept {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+  [[nodiscard]] static Fingerprint digest(const void* data,
+                                          std::size_t len) noexcept {
+    return digest(std::span(static_cast<const std::uint8_t*>(data), len));
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5]{};
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64]{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace hds

@@ -1,0 +1,62 @@
+// Small measurement utilities shared by benches and the pipeline.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hds {
+
+// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+  void restart() noexcept { start_ = clock::now(); }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Streaming mean/min/max accumulator.
+class MeanAccumulator {
+ public:
+  void add(double v) noexcept {
+    sum_ += v;
+    ++count_;
+    if (v < min_ || count_ == 1) min_ = v;
+    if (v > max_ || count_ == 1) max_ = v;
+  }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double sum_ = 0, min_ = 0, max_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// Fixed-width table printer used by the figure/table benches so their output
+// mirrors the rows the paper reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hds

@@ -1,0 +1,24 @@
+// Size units and system-wide constants from the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hds {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+// The paper stores chunks in "typical 4MB" containers and chunks data at
+// 4-8KB average. These are the defaults; every component accepts overrides.
+inline constexpr std::size_t kDefaultContainerSize = 4 * MiB;
+inline constexpr std::size_t kDefaultAvgChunkSize = 4 * KiB;
+inline constexpr std::size_t kDefaultMinChunkSize = 1 * KiB;
+inline constexpr std::size_t kDefaultMaxChunkSize = 16 * KiB;
+
+// Recipe entry layout (paper §2.1): 20-byte fingerprint + 4-byte container
+// ID + 4-byte size = 28 bytes per chunk.
+inline constexpr std::size_t kRecipeEntrySize = 28;
+
+}  // namespace hds

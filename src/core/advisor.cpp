@@ -1,0 +1,41 @@
+#include "core/advisor.h"
+
+namespace hds {
+
+void WorkloadAdvisor::observe(const VersionStream& stream) {
+  const std::uint64_t version = ++report_.versions_observed;
+  for (const auto& chunk : stream.chunks) {
+    const auto [it, fresh] = last_seen_.try_emplace(chunk.fp, version);
+    if (!fresh) {
+      const std::uint64_t gap = version - it->second;
+      it->second = version;
+      if (gap == 0) continue;  // intra-version duplicate: any window hits
+      report_.duplicate_chunks++;
+      if (gap == 1) {
+        report_.dup_gap1++;
+      } else if (gap == 2) {
+        report_.dup_gap2++;
+      } else {
+        report_.dup_gap_deeper++;
+      }
+    }
+  }
+}
+
+Recommendation WorkloadAdvisor::recommend() const noexcept {
+  if (report_.duplicate_chunks == 0) return Recommendation::kWindowOne;
+  // Redundancy beyond any window would be re-stored by HiDeStore: if it
+  // exceeds the tolerance, a traditional (full or sampled) index serves the
+  // workload better.
+  if (report_.deeper_fraction() > max_window_miss_) {
+    return Recommendation::kNotRecommended;
+  }
+  // Window 2 costs a third table and a second unfinalized recipe; only
+  // recommend it when gap-2 duplicates are material.
+  if (report_.gap2_fraction() > max_window_miss_) {
+    return Recommendation::kWindowTwo;
+  }
+  return Recommendation::kWindowOne;
+}
+
+}  // namespace hds

@@ -1,0 +1,80 @@
+// WorkloadAdvisor — the paper's §4 deployment guidance, as code.
+//
+// "For the workloads that are not included in this paper, we simply trace
+// the chunk distribution among versions and determine whether to use the
+// proposed scheme, which produces low overhead since we only need to trace
+// the metadata of the chunks."
+//
+// The advisor replays version streams at metadata cost (a tag per
+// fingerprint, like the Figure 3 experiment) and measures where duplicate
+// chunks come from: the immediately previous version (gap 1), two versions
+// back (gap 2 — the macos pattern), or deeper history. From that it
+// recommends the fingerprint-cache window, or advises against HiDeStore
+// altogether when too much redundancy lives outside any small window
+// (HiDeStore would re-store those chunks and lose dedup ratio).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/chunk.h"
+
+namespace hds {
+
+struct AdvisorReport {
+  std::uint64_t versions_observed = 0;
+  std::uint64_t duplicate_chunks = 0;
+  // Duplicate chunks by the gap to their previous appearance.
+  std::uint64_t dup_gap1 = 0;        // previous version (window 1 catches)
+  std::uint64_t dup_gap2 = 0;        // skipped one version (window 2)
+  std::uint64_t dup_gap_deeper = 0;  // older than any supported window
+
+  [[nodiscard]] double gap1_fraction() const noexcept {
+    return duplicate_chunks == 0
+               ? 0.0
+               : static_cast<double>(dup_gap1) /
+                     static_cast<double>(duplicate_chunks);
+  }
+  [[nodiscard]] double gap2_fraction() const noexcept {
+    return duplicate_chunks == 0
+               ? 0.0
+               : static_cast<double>(dup_gap2) /
+                     static_cast<double>(duplicate_chunks);
+  }
+  [[nodiscard]] double deeper_fraction() const noexcept {
+    return duplicate_chunks == 0
+               ? 0.0
+               : static_cast<double>(dup_gap_deeper) /
+                     static_cast<double>(duplicate_chunks);
+  }
+};
+
+enum class Recommendation {
+  kWindowOne,      // kernel/gcc/fslhomes-like: T1+T2 suffice
+  kWindowTwo,      // macos-like: add T0
+  kNotRecommended  // deep-history redundancy: use a traditional index
+};
+
+class WorkloadAdvisor {
+ public:
+  // Loss HiDeStore may accept before the advisor recommends against it:
+  // the fraction of duplicate chunks that fall outside the chosen window
+  // (each would be re-stored, reducing the dedup ratio).
+  explicit WorkloadAdvisor(double max_window_miss = 0.02)
+      : max_window_miss_(max_window_miss) {}
+
+  // Feed versions in backup order; metadata only, contents never touched.
+  void observe(const VersionStream& stream);
+
+  [[nodiscard]] const AdvisorReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] Recommendation recommend() const noexcept;
+
+ private:
+  double max_window_miss_;
+  AdvisorReport report_;
+  std::unordered_map<Fingerprint, std::uint64_t> last_seen_;
+};
+
+}  // namespace hds

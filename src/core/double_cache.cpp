@@ -1,0 +1,70 @@
+#include "core/double_cache.h"
+
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace hds {
+
+DoubleHashFingerprintCache::DoubleHashFingerprintCache(int window)
+    : window_(window) {
+  if (window != 1 && window != 2) {
+    throw std::invalid_argument("cache window must be 1 or 2");
+  }
+}
+
+const CacheEntry* DoubleHashFingerprintCache::lookup_and_promote(
+    const Fingerprint& fp) {
+  // Case three (Figure 5): already seen in the current version.
+  if (const auto it = t2_.find(fp); it != t2_.end()) return &it->second;
+
+  // Case two: hot chunk from the previous version — migrate T1 → T2.
+  if (const auto it = t1_.find(fp); it != t1_.end()) {
+    const auto [t2_it, _] = t2_.emplace(fp, it->second);
+    t1_.erase(it);
+    return &t2_it->second;
+  }
+
+  // Extended window: chunk skipped one version (macos case) — T0 → T2.
+  if (window_ == 2) {
+    if (const auto it = t0_.find(fp); it != t0_.end()) {
+      const auto [t2_it, _] = t2_.emplace(fp, it->second);
+      t0_.erase(it);
+      return &t2_it->second;
+    }
+  }
+
+  return nullptr;  // Case one: unique chunk.
+}
+
+void DoubleHashFingerprintCache::insert_unique(const Fingerprint& fp,
+                                               ContainerId active_cid,
+                                               std::uint32_t size) {
+  t2_.emplace(fp, CacheEntry{active_cid, size});
+}
+
+DoubleHashFingerprintCache::Table DoubleHashFingerprintCache::rotate() {
+  Table cold;
+  if (window_ == 1) {
+    cold = std::move(t1_);
+  } else {
+    cold = std::move(t0_);
+    t0_ = std::move(t1_);
+  }
+  t1_ = std::move(t2_);
+  t2_ = Table{};
+  return cold;
+}
+
+void DoubleHashFingerprintCache::remap_active(
+    const std::unordered_map<Fingerprint, ContainerId>& map) {
+  for (auto* table : {&t0_, &t1_, &t2_}) {
+    for (auto& [fp, entry] : *table) {
+      if (const auto it = map.find(fp); it != map.end()) {
+        entry.active_cid = it->second;
+      }
+    }
+  }
+}
+
+}  // namespace hds

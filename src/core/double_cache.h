@@ -1,0 +1,84 @@
+// DoubleHashFingerprintCache — the paper's §4.1 fingerprint cache.
+//
+// Two hash tables: T1 holds the chunks of the previous backup version, T2
+// accumulates the chunks of the current one. The three dedup cases of
+// Figure 5:
+//   * miss in both           → unique chunk, insert into T2;
+//   * hit in T1              → duplicate; *migrate* the entry T1→T2 (the
+//                              chunk is hot: it survived into this version);
+//   * hit in T2              → duplicate; nothing to do.
+// After a version completes, whatever is *left* in T1 was not referenced by
+// the current version — those are the cold chunks, destined for archival
+// containers. T2 becomes the next version's T1.
+//
+// The macos-style workloads (Figure 3d) need a redundancy window of two
+// versions: chunks may skip one version and reappear. `window == 2` adds a
+// third table T0 (version n-2 leftovers); chunks hitting T0 are promoted
+// like T1 hits, and only T0's leftovers go cold.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "storage/container.h"
+
+namespace hds {
+
+struct CacheEntry {
+  ContainerId active_cid = 0;  // active container currently holding the chunk
+  std::uint32_t size = 0;
+};
+
+class DoubleHashFingerprintCache {
+ public:
+  using Table = std::unordered_map<Fingerprint, CacheEntry>;
+
+  // `window` = how many past versions a chunk may skip and still be
+  // considered hot (1 for kernel/gcc-like workloads, 2 for macos-like).
+  explicit DoubleHashFingerprintCache(int window = 1);
+
+  // Duplicate probe implementing the three cases above. Returns the entry
+  // if the chunk is a duplicate (already promoting it into T2).
+  [[nodiscard]] const CacheEntry* lookup_and_promote(const Fingerprint& fp);
+
+  // Registers a freshly stored unique chunk in T2.
+  void insert_unique(const Fingerprint& fp, ContainerId active_cid,
+                     std::uint32_t size);
+
+  // Ends the current version: returns the cold set (oldest table's
+  // leftovers) and rotates tables (T0←T1 when window==2, T1←T2, T2 empty).
+  [[nodiscard]] Table rotate();
+
+  // Compaction moved chunks between active containers; fix the entries.
+  void remap_active(const std::unordered_map<Fingerprint, ContainerId>& map);
+
+  // Persistence support: reinstates T1/T0 after a reload. The tables are
+  // rebuilt from the newest recipes + the active pool (the paper's "the
+  // metadata of CV in the recipe is prefetched to T1"), so the cache itself
+  // is never written to disk.
+  void restore_tables(Table t1, Table t0) {
+    t1_ = std::move(t1);
+    t0_ = std::move(t0);
+    t2_.clear();
+  }
+
+  [[nodiscard]] int window() const noexcept { return window_; }
+  [[nodiscard]] const Table& current() const noexcept { return t2_; }
+  [[nodiscard]] const Table& previous() const noexcept { return t1_; }
+
+  // Transient footprint: 28 bytes per entry (20B fingerprint + 4B CID +
+  // 4B size), mirroring the paper's back-of-envelope (§4.1).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return (t0_.size() + t1_.size() + t2_.size()) * kRecipeEntrySize;
+  }
+
+ private:
+  int window_;
+  Table t0_;  // version n-2 leftovers (window == 2 only)
+  Table t1_;  // previous version
+  Table t2_;  // current version
+};
+
+}  // namespace hds

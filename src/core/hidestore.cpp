@@ -1,0 +1,485 @@
+#include "core/hidestore.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/byte_io.h"
+#include "common/crc32.h"
+#include "restore/faa.h"
+#include "restore/partial.h"
+
+namespace hds {
+
+namespace {
+// Dispatches fetches to the archival store or the active pool.
+class HiDeStoreFetcher final : public ContainerFetcher {
+ public:
+  HiDeStoreFetcher(ContainerStore& archival, ActiveContainerPool& pool)
+      : archival_(archival), pool_(pool) {}
+
+  std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override {
+    return loc.active ? pool_.fetch(loc.cid) : archival_.read(loc.cid);
+  }
+
+ private:
+  ContainerStore& archival_;
+  ActiveContainerPool& pool_;
+};
+}  // namespace
+
+namespace {
+std::unique_ptr<ContainerStore> make_archival_store(
+    const HiDeStoreConfig& config, bool index_existing) {
+  if (config.storage_dir.empty()) {
+    return std::make_unique<MemoryContainerStore>();
+  }
+  return std::make_unique<FileContainerStore>(
+      config.storage_dir / "archival", index_existing);
+}
+}  // namespace
+
+HiDeStore::HiDeStore(const HiDeStoreConfig& config)
+    : config_(config),
+      store_(make_archival_store(config, /*index_existing=*/false)),
+      pool_(config.container_size, config.materialize_contents),
+      cache_(config.cache_window) {}
+
+BackupReport HiDeStore::backup(const VersionStream& stream) {
+  Stopwatch timer;
+  const VersionId version = next_version_++;
+
+  BackupReport report;
+  report.version = version;
+
+  // --- Phase 1: dedup against the fingerprint cache only (§4.1) ---
+  Recipe recipe(version);
+  for (const auto& chunk : stream.chunks) {
+    report.logical_bytes += chunk.size;
+    report.logical_chunks++;
+    if (cache_.lookup_and_promote(chunk.fp) == nullptr) {
+      const ContainerId active_cid = pool_.add(chunk);
+      cache_.insert_unique(chunk.fp, active_cid, chunk.size);
+      report.stored_bytes += chunk.size;
+      report.stored_chunks++;
+    }
+    // Every chunk of the newest version is (for now) in active containers.
+    recipe.add(chunk.fp, kCidActive, chunk.size);
+  }
+
+  // --- Phase 2: classify, evict cold chunks, merge sparse containers ---
+  Stopwatch move_timer;
+  ColdMap cold_map;
+  auto cold = cache_.rotate();
+  // The cold chunks were last referenced `window` versions ago.
+  const VersionId cold_version =
+      version > static_cast<VersionId>(config_.cache_window)
+          ? version - static_cast<VersionId>(config_.cache_window)
+          : 0;
+  if (!cold.empty()) {
+    evict_cold(std::move(cold), cold_map, cold_version);
+  }
+  const auto remap = pool_.compact(config_.compaction_threshold);
+  if (!remap.empty()) {
+    cache_.remap_active(remap);
+    overheads_.containers_merged++;
+  }
+  overheads_.move_and_merge_ms.add(move_timer.elapsed_ms());
+
+  // --- Phase 3: finalize the recipe one window back (§4.3) ---
+  Stopwatch recipe_timer;
+  if (config_.cache_window == 1) {
+    if (Recipe* prev = recipes_.get(version - 1)) {
+      update_previous_recipe(*prev, cold_map, version, nullptr);
+    }
+  } else if (version >= 2) {
+    if (Recipe* prev2 = recipes_.get(version - 2)) {
+      std::unordered_set<Fingerprint> between;
+      if (const Recipe* prev1 = recipes_.get(version - 1)) {
+        for (const auto& e : prev1->entries()) between.insert(e.fp);
+      }
+      update_previous_recipe(*prev2, cold_map, version, &between);
+    }
+  }
+  overheads_.recipe_update_ms.add(recipe_timer.elapsed_ms());
+
+  recipes_.put(std::move(recipe));
+
+  total_logical_bytes_ += report.logical_bytes;
+  total_stored_bytes_ += report.stored_bytes;
+  report.disk_lookups = 0;  // HiDeStore never consults an on-disk index
+  report.index_memory_bytes = 0;  // no full index table (Fig 10)
+  report.elapsed_ms = timer.elapsed_ms();
+  return report;
+}
+
+void HiDeStore::evict_cold(DoubleHashFingerprintCache::Table cold,
+                           ColdMap& cold_map, VersionId cold_version) {
+  // Evict container by container, chunks in offset order: the adjacency
+  // cold chunks had in the active set is preserved in the archival layout,
+  // which is what old-version restores have left to lean on.
+  std::unordered_map<ContainerId, std::vector<Fingerprint>> by_container;
+  for (const auto& [fp, entry] : cold) {
+    (void)entry;
+    const ContainerId* cid = pool_.find(fp);
+    if (cid == nullptr) continue;  // already evicted (duplicate cold entry)
+    by_container[*cid].push_back(fp);
+  }
+
+  Container archival(store_->reserve_id(), config_.container_size);
+  auto flush = [&] {
+    if (archival.chunk_count() == 0) return;
+    const ContainerId id = archival.id();
+    container_version_.emplace(id, cold_version);
+    store_->put(std::move(archival));
+    archival = Container(store_->reserve_id(), config_.container_size);
+  };
+
+  for (const ContainerId src : pool_.container_ids_sorted()) {
+    const auto it = by_container.find(src);
+    if (it == by_container.end()) continue;
+    auto& fps = it->second;
+    const auto src_container = pool_.fetch(src);
+    std::sort(fps.begin(), fps.end(),
+              [&](const Fingerprint& a, const Fingerprint& b) {
+                return src_container->find(a)->offset <
+                       src_container->find(b)->offset;
+              });
+    for (const auto& fp : fps) {
+      const auto bytes = pool_.extract(fp);
+      if (!archival.fits(bytes.size())) flush();
+      if (config_.materialize_contents) {
+        archival.add(fp, bytes);
+      } else {
+        archival.add_meta(fp, static_cast<std::uint32_t>(bytes.size()));
+      }
+      cold_map[fp] = archival.id();
+      overheads_.cold_chunks_moved++;
+      overheads_.cold_bytes_moved += bytes.size();
+    }
+  }
+  flush();
+}
+
+ChunkLoc HiDeStore::resolve(
+    const RecipeEntry& entry,
+    std::unordered_map<VersionId,
+                       std::unordered_map<Fingerprint, ContainerId>>&
+        chain_cache,
+    std::size_t* hops) const {
+  ContainerId cid = entry.cid;
+  while (cid < 0) {
+    const auto version = static_cast<VersionId>(-cid);
+    auto [it, fresh] = chain_cache.try_emplace(version);
+    if (fresh) {
+      if (hops != nullptr) ++*hops;
+      const Recipe* recipe = recipes_.get(version);
+      if (recipe == nullptr) {
+        throw std::runtime_error("recipe chain points at missing recipe");
+      }
+      for (const auto& e : recipe->entries()) {
+        it->second.emplace(e.fp, e.cid);
+      }
+    }
+    const auto hit = it->second.find(entry.fp);
+    if (hit == it->second.end()) {
+      // Algorithm 1 writes -n for "still in active containers"; the chunk
+      // need not literally appear in recipe n (it may live on only through
+      // the fingerprint cache / active pool, e.g. a version n-1 leftover).
+      // The pool index is authoritative for every hot chunk.
+      if (pool_.find(entry.fp) != nullptr) {
+        cid = kCidActive;
+        break;
+      }
+      throw std::runtime_error("recipe chain broken: fingerprint not found");
+    }
+    cid = hit->second;
+  }
+  if (cid == kCidActive) {
+    const ContainerId* active = pool_.find(entry.fp);
+    if (active == nullptr) {
+      throw std::runtime_error("active chunk missing from pool index");
+    }
+    return ChunkLoc{entry.fp, entry.size, *active, /*active=*/true};
+  }
+  return ChunkLoc{entry.fp, entry.size, cid, /*active=*/false};
+}
+
+RestoreReport HiDeStore::restore(VersionId version, const ChunkSink& sink) {
+  RestoreConfig cache_config;
+  cache_config.container_size = config_.container_size;
+  FaaRestore policy{cache_config};
+  return restore_with(version, policy, sink);
+}
+
+namespace {
+using ChainCache =
+    std::unordered_map<VersionId,
+                       std::unordered_map<Fingerprint, ContainerId>>;
+}  // namespace
+
+RestoreReport HiDeStore::restore_with(VersionId version,
+                                      RestorePolicy& policy,
+                                      const ChunkSink& sink) {
+  return restore_range(version, 0, UINT64_MAX, policy, sink);
+}
+
+RestoreReport HiDeStore::restore_range(VersionId version,
+                                       std::uint64_t offset,
+                                       std::uint64_t length,
+                                       RestorePolicy& policy,
+                                       const ChunkSink& sink) {
+  Stopwatch timer;
+  RestoreReport report;
+  report.version = version;
+
+  if (config_.flatten_before_restore) flatten_recipes();
+
+  const Recipe* recipe = recipes_.get(version);
+  if (recipe == nullptr) return report;
+
+  ChainCache chain_cache;
+  std::vector<ChunkLoc> stream;
+  stream.reserve(recipe->chunk_count());
+  std::size_t hops = 0;
+  for (const auto& e : recipe->entries()) {
+    stream.push_back(resolve(e, chain_cache, &hops));
+  }
+
+  HiDeStoreFetcher fetcher(*store_, pool_);
+  const auto reads_before =
+      store_->stats().container_reads + pool_.stats().container_reads;
+  const bool whole = offset == 0 && length == UINT64_MAX;
+  report.stats =
+      whole ? policy.restore(stream, fetcher, sink)
+            : restore_byte_range(stream, offset, length, policy, fetcher,
+                                 sink);
+  const auto reads_after =
+      store_->stats().container_reads + pool_.stats().container_reads;
+  // Policies count fetch() calls themselves; cross-check with the stores.
+  report.stats.container_reads = reads_after - reads_before;
+  report.elapsed_ms = timer.elapsed_ms();
+  return report;
+}
+
+std::size_t HiDeStore::flatten_recipes() {
+  return hds::flatten_recipes(recipes_, config_.cache_window);
+}
+
+namespace {
+constexpr std::uint32_t kStateMagic = 0x48445353;  // "HDSS"
+constexpr std::uint32_t kStateFormat = 1;
+constexpr const char* kStateFile = "state.hds";
+}  // namespace
+
+void HiDeStore::save(const std::filesystem::path& dir) {
+  const bool inline_archival = config_.storage_dir.empty();
+  if (!inline_archival &&
+      std::filesystem::weakly_canonical(dir) !=
+          std::filesystem::weakly_canonical(config_.storage_dir)) {
+    throw std::invalid_argument(
+        "HiDeStore::save: a file-backed repository must be saved into its "
+        "own storage_dir");
+  }
+  std::filesystem::create_directories(dir);
+
+  ByteWriter writer;
+  writer.u32(kStateMagic);
+  writer.u32(kStateFormat);
+  writer.u64(config_.container_size);
+  writer.f64(config_.compaction_threshold);
+  writer.u32(static_cast<std::uint32_t>(config_.cache_window));
+  writer.u8(config_.materialize_contents ? 1 : 0);
+  writer.u8(config_.flatten_before_restore ? 1 : 0);
+  writer.u8(inline_archival ? 1 : 0);
+  writer.u32(next_version_);
+  writer.u32(oldest_version_);
+  writer.u64(total_logical_bytes_);
+  writer.u64(total_stored_bytes_);
+
+  // Deletion tags.
+  writer.u32(static_cast<std::uint32_t>(container_version_.size()));
+  for (const auto& [cid, version] : container_version_) {
+    writer.u32(static_cast<std::uint32_t>(cid));
+    writer.u32(version);
+  }
+
+  // Recipes, oldest first.
+  const auto versions = recipes_.versions();
+  writer.u32(static_cast<std::uint32_t>(versions.size()));
+  for (const VersionId v : versions) {
+    writer.blob(recipes_.get(v)->serialize());
+  }
+
+  // Active pool + archival containers (inline only for in-memory stores;
+  // a file-backed repository already has them as individual files).
+  writer.blob(pool_.serialize_state());
+  if (inline_archival) {
+    auto ids = store_->ids();
+    std::sort(ids.begin(), ids.end());
+    writer.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const ContainerId cid : ids) {
+      writer.blob(store_->read(cid)->serialize());
+    }
+  }
+  writer.u32(static_cast<std::uint32_t>(store_->next_id()));
+
+  auto bytes = writer.take();
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  ByteWriter trailer;
+  trailer.u32(crc);
+  bytes.insert(bytes.end(), trailer.bytes().begin(), trailer.bytes().end());
+
+  std::ofstream out(dir / kStateFile, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("HiDeStore::save: cannot open file");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("HiDeStore::save: short write");
+}
+
+std::unique_ptr<HiDeStore> HiDeStore::load(
+    const std::filesystem::path& dir) {
+  std::ifstream in(dir / kStateFile, std::ios::binary | std::ios::ate);
+  if (!in) return nullptr;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in || bytes.size() < 12) return nullptr;
+
+  // CRC trailer over the whole body.
+  std::uint32_t stored_crc = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored_crc = (stored_crc << 8) | bytes[bytes.size() - 4 + i];
+  }
+  if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) return nullptr;
+
+  ByteReader reader(std::span(bytes.data(), bytes.size() - 4));
+  std::uint32_t magic, format;
+  if (!reader.u32(magic) || magic != kStateMagic) return nullptr;
+  if (!reader.u32(format) || format != kStateFormat) return nullptr;
+
+  HiDeStoreConfig config;
+  std::uint64_t container_size;
+  std::uint32_t window;
+  std::uint8_t materialize, flatten, inline_archival;
+  if (!reader.u64(container_size) ||
+      !reader.f64(config.compaction_threshold) || !reader.u32(window) ||
+      !reader.u8(materialize) || !reader.u8(flatten) ||
+      !reader.u8(inline_archival)) {
+    return nullptr;
+  }
+  config.container_size = container_size;
+  config.cache_window = static_cast<int>(window);
+  config.materialize_contents = materialize != 0;
+  config.flatten_before_restore = flatten != 0;
+  if (config.cache_window != 1 && config.cache_window != 2) return nullptr;
+  if (inline_archival == 0) config.storage_dir = dir;
+
+  auto sys = std::make_unique<HiDeStore>(config);
+  if (inline_archival == 0) {
+    // Reopen the on-disk container files and resume the ID counter.
+    sys->store_ = make_archival_store(config, /*index_existing=*/true);
+  }
+  if (!reader.u32(sys->next_version_) || !reader.u32(sys->oldest_version_) ||
+      !reader.u64(sys->total_logical_bytes_) ||
+      !reader.u64(sys->total_stored_bytes_)) {
+    return nullptr;
+  }
+
+  std::uint32_t tag_count;
+  if (!reader.u32(tag_count)) return nullptr;
+  for (std::uint32_t i = 0; i < tag_count; ++i) {
+    std::uint32_t cid, version;
+    if (!reader.u32(cid) || !reader.u32(version)) return nullptr;
+    sys->container_version_.emplace(static_cast<ContainerId>(cid), version);
+  }
+
+  std::uint32_t recipe_count;
+  if (!reader.u32(recipe_count)) return nullptr;
+  for (std::uint32_t i = 0; i < recipe_count; ++i) {
+    std::vector<std::uint8_t> blob;
+    if (!reader.blob(blob)) return nullptr;
+    auto recipe = Recipe::deserialize(blob);
+    if (!recipe) return nullptr;
+    sys->recipes_.put(std::move(*recipe));
+  }
+
+  std::vector<std::uint8_t> pool_blob;
+  if (!reader.blob(pool_blob) || !sys->pool_.restore_state(pool_blob)) {
+    return nullptr;
+  }
+
+  if (inline_archival != 0) {
+    std::uint32_t archival_count;
+    if (!reader.u32(archival_count)) return nullptr;
+    for (std::uint32_t i = 0; i < archival_count; ++i) {
+      std::vector<std::uint8_t> blob;
+      if (!reader.blob(blob)) return nullptr;
+      auto container = Container::deserialize(blob);
+      if (!container) return nullptr;
+      sys->store_->put(std::move(*container));
+    }
+  }
+  std::uint32_t store_next;
+  if (!reader.u32(store_next) || !reader.exhausted()) return nullptr;
+  sys->store_->restore_next_id(static_cast<ContainerId>(store_next));
+  sys->store_->reset_stats();
+
+  // Rebuild the fingerprint cache by prefetching the newest recipes — the
+  // paper's §4.1 mechanism ("the metadata of CV in the recipe is prefetched
+  // to T1").
+  DoubleHashFingerprintCache::Table t1, t0;
+  const VersionId latest = sys->latest_version();
+  if (const Recipe* newest = sys->recipes_.get(latest)) {
+    for (const auto& e : newest->entries()) {
+      if (e.cid != kCidActive) continue;
+      if (const ContainerId* cid = sys->pool_.find(e.fp)) {
+        t1.emplace(e.fp, CacheEntry{*cid, e.size});
+      }
+    }
+  }
+  if (config.cache_window == 2 && latest >= 2) {
+    if (const Recipe* previous = sys->recipes_.get(latest - 1)) {
+      for (const auto& e : previous->entries()) {
+        if (e.cid != kCidActive || t1.contains(e.fp)) continue;
+        if (const ContainerId* cid = sys->pool_.find(e.fp)) {
+          t0.emplace(e.fp, CacheEntry{*cid, e.size});
+        }
+      }
+    }
+  }
+  sys->cache_.restore_tables(std::move(t1), std::move(t0));
+  return sys;
+}
+
+DeletionReport HiDeStore::delete_versions_up_to(VersionId version) {
+  Stopwatch timer;
+  DeletionReport report;
+
+  for (VersionId v = oldest_version_;
+       v <= version && v < latest_version(); ++v) {
+    if (recipes_.erase(v)) report.versions_deleted++;
+  }
+  oldest_version_ = std::max(oldest_version_, version + 1);
+
+  // Cold chunks are grouped by the version that last referenced them; once
+  // every version up to `version` is retired, their containers hold only
+  // unreachable chunks and vanish wholesale — no per-chunk liveness check.
+  std::vector<ContainerId> victims;
+  for (const auto& [cid, tag] : container_version_) {
+    if (tag <= version) victims.push_back(cid);
+  }
+  for (const ContainerId cid : victims) {
+    if (const auto container = store_->read(cid)) {
+      report.bytes_reclaimed += container->used_bytes();
+    }
+    store_->erase(cid);
+    container_version_.erase(cid);
+    report.containers_erased++;
+  }
+  report.elapsed_ms = timer.elapsed_ms();
+  return report;
+}
+
+}  // namespace hds

@@ -1,0 +1,155 @@
+// HiDeStore — the paper's contribution (§4): a deduplicating backup system
+// that enhances the *physical locality of the newest versions* during the
+// deduplication phase instead of patching the restore phase.
+//
+// Per backup version:
+//   1. dedup against the double-hash fingerprint cache only — no on-disk
+//      index, no Bloom filter, zero disk lookups (§4.1);
+//   2. unique chunks go to mutable *active* containers (§4.2);
+//   3. after the version, cold chunks (absent from the last `window`
+//      versions) are evicted to append-only *archival* containers, active
+//      containers are merged/compacted, and the recipe one window back is
+//      finalized (§4.2-4.3);
+//   4. restore resolves the three CID kinds (archival / active / chained)
+//      and runs any standard restore cache on top (§4.4);
+//   5. deleting the oldest versions erases whole archival containers —
+//      no reference counting, no mark-and-sweep (§4.5).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
+
+#include "backup/backup_system.h"
+#include "common/stats.h"
+#include "core/active_pool.h"
+#include "core/double_cache.h"
+#include "core/recipe_chain.h"
+#include "storage/container_store.h"
+
+namespace hds {
+
+struct HiDeStoreConfig {
+  std::size_t container_size = kDefaultContainerSize;
+  // Merge active containers whose live-byte utilization falls below this.
+  double compaction_threshold = 0.5;
+  // Redundancy window: 1 (kernel/gcc-like) or 2 (macos-like, adds T0).
+  int cache_window = 1;
+  // Store chunk payloads or account sizes only (see PipelineConfig).
+  bool materialize_contents = true;
+  // Run Algorithm 1 before every restore of a non-latest version instead of
+  // walking the chain (D3 ablation).
+  bool flatten_before_restore = false;
+  // Non-empty: a persistent repository rooted here. Archival containers are
+  // written as individual files under <storage_dir>/archival as they seal,
+  // and save()/load() keep the manifest in the same directory (save() to a
+  // different directory is rejected). Empty: everything stays in memory and
+  // save() serializes archival containers inline.
+  std::filesystem::path storage_dir;
+};
+
+struct HiDeStoreOverheads {
+  // Figure 12: mean per-version latency of the two extra phases.
+  MeanAccumulator recipe_update_ms;
+  MeanAccumulator move_and_merge_ms;
+  std::uint64_t cold_chunks_moved = 0;
+  std::uint64_t cold_bytes_moved = 0;
+  std::uint64_t containers_merged = 0;
+};
+
+struct DeletionReport {
+  std::size_t versions_deleted = 0;
+  std::size_t containers_erased = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  // Chunks individually examined to decide reclamation — the paper's point
+  // is that this stays 0 (no chunk detection, no garbage collection).
+  std::uint64_t chunks_scanned = 0;
+  double elapsed_ms = 0;
+};
+
+class HiDeStore final : public BackupSystem {
+ public:
+  explicit HiDeStore(const HiDeStoreConfig& config = {});
+
+  BackupReport backup(const VersionStream& stream) override;
+  RestoreReport restore(VersionId version, const ChunkSink& sink) override;
+  RestoreReport restore_with(VersionId version, RestorePolicy& policy,
+                             const ChunkSink& sink);
+
+  // Partial restore: only logical bytes [offset, offset+length) of the
+  // version (single-file pulls via a FileCatalog). First/last chunks are
+  // trimmed; container reads are counted normally.
+  RestoreReport restore_range(VersionId version, std::uint64_t offset,
+                              std::uint64_t length, RestorePolicy& policy,
+                              const ChunkSink& sink);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hidestore";
+  }
+
+  // Runs Algorithm 1 offline; returns entries rewritten.
+  std::size_t flatten_recipes();
+
+  // --- Repository lifecycle ---
+  // Persists the complete system state (config, recipes, active pool,
+  // archival containers, deletion tags) into `dir` as a single CRC-guarded
+  // state file. The fingerprint cache is NOT stored: on load it is rebuilt
+  // by prefetching the newest recipes through the active pool, exactly the
+  // paper's §4.1 prefetch path.
+  void save(const std::filesystem::path& dir);
+  // Reconstructs a system from a save() directory; nullptr on any
+  // corruption or format mismatch.
+  static std::unique_ptr<HiDeStore> load(const std::filesystem::path& dir);
+
+  // Removes every version up to and including `version` (oldest-first
+  // retirement). Cold chunks of expired versions live in archival
+  // containers referenced by no newer version, so whole containers are
+  // erased without scanning a single chunk.
+  DeletionReport delete_versions_up_to(VersionId version);
+
+  [[nodiscard]] const HiDeStoreOverheads& overheads() const noexcept {
+    return overheads_;
+  }
+  [[nodiscard]] const RecipeStore& recipes() const noexcept {
+    return recipes_;
+  }
+  [[nodiscard]] ContainerStore& archival_store() noexcept { return *store_; }
+  [[nodiscard]] const ActiveContainerPool& active_pool() const noexcept {
+    return pool_;
+  }
+  [[nodiscard]] VersionId latest_version() const noexcept {
+    return next_version_ - 1;
+  }
+  // Transient fingerprint-cache footprint (the paper's "no index table"
+  // claim: this is bounded by one-two versions of metadata, Figure 10).
+  [[nodiscard]] std::uint64_t cache_memory_bytes() const noexcept {
+    return cache_.memory_bytes();
+  }
+
+ private:
+  // Moves the cold set to archival containers; fills `cold_map` with their
+  // archival homes and tags the new containers with `cold_version`.
+  void evict_cold(DoubleHashFingerprintCache::Table cold, ColdMap& cold_map,
+                  VersionId cold_version);
+
+  // Resolves a recipe entry to a concrete location, walking the chain.
+  ChunkLoc resolve(const RecipeEntry& entry,
+                   std::unordered_map<VersionId,
+                                      std::unordered_map<Fingerprint,
+                                                         ContainerId>>&
+                       chain_cache,
+                   std::size_t* hops) const;
+
+  HiDeStoreConfig config_;
+  std::unique_ptr<ContainerStore> store_;  // archival containers
+  ActiveContainerPool pool_;
+  DoubleHashFingerprintCache cache_;
+  RecipeStore recipes_;
+  VersionId next_version_ = 1;
+  VersionId oldest_version_ = 1;
+  // Archival container → version whose cold chunks it holds (deletion tag).
+  std::unordered_map<ContainerId, VersionId> container_version_;
+  HiDeStoreOverheads overheads_;
+};
+
+}  // namespace hds

@@ -1,0 +1,122 @@
+#include "core/recipe_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hds {
+
+std::size_t update_previous_recipe(
+    Recipe& prev, const ColdMap& cold, VersionId current,
+    const std::unordered_set<Fingerprint>* next_members) {
+  std::size_t updated = 0;
+  for (auto& entry : prev.entries()) {
+    if (entry.cid != kCidActive) continue;  // already finalized
+    if (const auto it = cold.find(entry.fp); it != cold.end()) {
+      entry.cid = it->second;  // chunk went cold: archival home
+    } else if (next_members != nullptr && next_members->contains(entry.fp)) {
+      // Window == 2: the chunk lives on through the intermediate version.
+      entry.cid = -static_cast<ContainerId>(current - 1);
+    } else {
+      // Chunk stayed hot: it is (at least) in the current version.
+      entry.cid = -static_cast<ContainerId>(current);
+    }
+    ++updated;
+  }
+  return updated;
+}
+
+ContainerId resolve_chain(const RecipeStore& recipes, const Fingerprint& fp,
+                          ContainerId cid, std::size_t* hops) {
+  while (cid < 0) {
+    const auto version = static_cast<VersionId>(-cid);
+    const Recipe* recipe = recipes.get(version);
+    if (recipe == nullptr) {
+      throw std::runtime_error("recipe chain points at a missing recipe");
+    }
+    if (hops != nullptr) ++*hops;
+    // Any entry for the fingerprint will do: within one recipe a
+    // fingerprint always maps to a single location.
+    const auto it =
+        std::find_if(recipe->entries().begin(), recipe->entries().end(),
+                     [&](const RecipeEntry& e) { return e.fp == fp; });
+    if (it == recipe->entries().end()) {
+      throw std::runtime_error("recipe chain broken: fingerprint not found");
+    }
+    cid = it->cid;
+  }
+  return cid;
+}
+
+std::size_t flatten_recipes(RecipeStore& recipes, int window) {
+  const auto versions = recipes.versions();
+  if (versions.size() < 2) return 0;
+  const VersionId newest = versions.back();
+
+  // Rolling table T of Algorithm 1, extended to span `window` newer recipes
+  // so skip-chains (window == 2) still resolve. Each element maps the
+  // fingerprints of one already-processed recipe to their archival homes.
+  std::deque<std::unordered_map<Fingerprint, ContainerId>> tables;
+  {
+    std::unordered_map<Fingerprint, ContainerId> t;
+    for (const auto& e : recipes.get(newest)->entries()) {
+      if (e.cid > 0) t.emplace(e.fp, e.cid);
+    }
+    tables.push_front(std::move(t));
+  }
+
+  // Still-hot chunks must be chained to a recipe that *contains* them.
+  // With window == 2 a hot chunk may live only in the second-newest recipe
+  // (a T0/T1 leftover absent from the newest version); pointing it at the
+  // newest recipe would orphan the entry once the chunk later goes cold
+  // and only its own recipe learns the archival home. Map each hot
+  // fingerprint to the newest recipe holding it.
+  std::unordered_map<Fingerprint, VersionId> hot_home;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(window) && i < versions.size(); ++i) {
+    const VersionId v = versions[versions.size() - 1 - i];
+    for (const auto& e : recipes.get(v)->entries()) {
+      hot_home.try_emplace(e.fp, v);  // newest-first: first insert wins
+    }
+  }
+
+  std::size_t updated = 0;
+  for (auto it = versions.rbegin() + 1; it != versions.rend(); ++it) {
+    Recipe* recipe = recipes.get(*it);
+    std::unordered_map<Fingerprint, ContainerId> next_table;
+    for (auto& entry : recipe->entries()) {
+      if (entry.cid > 0) {
+        next_table.emplace(entry.fp, entry.cid);
+        continue;
+      }
+      if (entry.cid == kCidActive) continue;  // newest recipe only
+      ContainerId resolved = 0;
+      bool found = false;
+      for (const auto& table : tables) {
+        if (const auto hit = table.find(entry.fp); hit != table.end()) {
+          resolved = hit->second;
+          found = true;
+          break;
+        }
+      }
+      // Lines 9-12 of Algorithm 1: archival home if known by a newer
+      // recipe, otherwise the chunk is still hot — point at the newest
+      // recipe containing it (which resolves through the active pool).
+      if (found) {
+        entry.cid = resolved;
+        next_table.emplace(entry.fp, resolved);
+      } else {
+        const auto home = hot_home.find(entry.fp);
+        entry.cid = -static_cast<ContainerId>(
+            home != hot_home.end() ? home->second : newest);
+      }
+      ++updated;
+    }
+    tables.push_front(std::move(next_table));
+    while (tables.size() > static_cast<std::size_t>(window)) {
+      tables.pop_back();
+    }
+  }
+  return updated;
+}
+
+}  // namespace hds

@@ -1,0 +1,47 @@
+// Recipe-chain maintenance (paper §4.3, Figure 7, Algorithm 1).
+//
+// When version v's backup finishes and the cold chunks move to archival
+// containers, only the recipe one window back is touched (the paper's key
+// overhead reduction): each of its still-active entries either receives its
+// new archival CID (the chunk went cold) or the negative ID of the version
+// that still holds it (the chunk stayed hot). Recipes thus form a chain;
+// resolve_chain() walks it at restore time, and flatten() (Algorithm 1)
+// periodically rewrites every recipe so no chain walk is longer than one
+// hop.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/recipe.h"
+
+namespace hds {
+
+// Archival destinations of the chunks that went cold this round.
+using ColdMap = std::unordered_map<Fingerprint, ContainerId>;
+
+// Finalizes `prev` (the recipe `window` versions back) after version
+// `current` completed. `next_members` must contain the fingerprints of the
+// recipe between prev and current when window == 2 (chunks may chain to it);
+// pass nullptr for window == 1.
+// Returns the number of entries rewritten.
+std::size_t update_previous_recipe(
+    Recipe& prev, const ColdMap& cold, VersionId current,
+    const std::unordered_set<Fingerprint>* next_members);
+
+// Resolution of one chunk at restore time: follows negative CIDs through
+// the chain until an archival CID (>0) or the active pool (0) is reached.
+// Returns the final CID and reports the number of recipes visited via
+// `hops`. Returns 0 for active, >0 for archival; chains are guaranteed to
+// terminate because negative CIDs always point forward in time.
+ContainerId resolve_chain(const RecipeStore& recipes, const Fingerprint& fp,
+                          ContainerId cid, std::size_t* hops);
+
+// Algorithm 1: flattens every retained recipe so chain walks become single
+// hops. `window` bounds how far a negative CID can skip (1 normally, 2 for
+// macos-style caches); the rolling table spans that many newer recipes.
+// Returns the number of entries rewritten.
+std::size_t flatten_recipes(RecipeStore& recipes, int window);
+
+}  // namespace hds

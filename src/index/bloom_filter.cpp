@@ -1,0 +1,52 @@
+#include "index/bloom_filter.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace hds {
+
+BloomFilter::BloomFilter(std::size_t expected_items, double fp_rate) {
+  expected_items = std::max<std::size_t>(1, expected_items);
+  // Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = 0.6931471805599453;
+  const auto bits = static_cast<std::size_t>(
+      std::ceil(-static_cast<double>(expected_items) * std::log(fp_rate) /
+                (ln2 * ln2)));
+  num_bits_ = std::max<std::size_t>(64, bits);
+  num_hashes_ = std::max(
+      1, static_cast<int>(std::round(
+             static_cast<double>(num_bits_) /
+             static_cast<double>(expected_items) * ln2)));
+  num_hashes_ = std::min(num_hashes_, 16);
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::positions(const Fingerprint& fp,
+                            std::uint64_t* out) const noexcept {
+  std::uint64_t h1, h2;
+  std::memcpy(&h1, fp.bytes.data(), 8);
+  std::memcpy(&h2, fp.bytes.data() + 8, 8);
+  if (h2 == 0) h2 = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < num_hashes_; ++i) {
+    out[i] = (h1 + static_cast<std::uint64_t>(i) * h2) % num_bits_;
+  }
+}
+
+void BloomFilter::insert(const Fingerprint& fp) noexcept {
+  std::uint64_t pos[16];
+  positions(fp, pos);
+  for (int i = 0; i < num_hashes_; ++i) {
+    bits_[pos[i] >> 6] |= 1ULL << (pos[i] & 63);
+  }
+}
+
+bool BloomFilter::may_contain(const Fingerprint& fp) const noexcept {
+  std::uint64_t pos[16];
+  positions(fp, pos);
+  for (int i = 0; i < num_hashes_; ++i) {
+    if (!(bits_[pos[i] >> 6] & (1ULL << (pos[i] & 63)))) return false;
+  }
+  return true;
+}
+
+}  // namespace hds

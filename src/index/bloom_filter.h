@@ -1,0 +1,37 @@
+// Bloom filter over fingerprints (Zhu et al., FAST'08 call it the "summary
+// vector"): answers "definitely new" for most unique chunks so the on-disk
+// full index is only probed for likely duplicates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace hds {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_items` at roughly the given false-positive rate.
+  explicit BloomFilter(std::size_t expected_items, double fp_rate = 0.01);
+
+  void insert(const Fingerprint& fp) noexcept;
+  // False positives possible; false negatives are not.
+  [[nodiscard]] bool may_contain(const Fingerprint& fp) const noexcept;
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return bits_.size() * sizeof(std::uint64_t);
+  }
+  [[nodiscard]] std::size_t bit_count() const noexcept { return num_bits_; }
+
+ private:
+  // Derives the k probe positions from two independent 64-bit halves of the
+  // fingerprint (Kirsch–Mitzenmacher double hashing).
+  void positions(const Fingerprint& fp, std::uint64_t* out) const noexcept;
+
+  std::size_t num_bits_;
+  int num_hashes_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace hds

@@ -1,0 +1,80 @@
+// FingerprintIndex: the dedup decision engine of a backup pipeline.
+//
+// The pipeline feeds whole *segments* (a few MB of consecutive chunks) and
+// receives, per chunk, either the container already holding it (duplicate)
+// or "unique". Segment granularity is what the similarity/locality indexes
+// (Sparse Indexing, SiLo) fundamentally operate on; exact indexes simply
+// answer chunk-by-chunk inside the batch.
+//
+// Accounting contract (drives Figures 9 and 10):
+//   * stats().disk_lookups — lookup requests served from on-disk structures
+//     (full index probes, manifest loads, similarity-block loads). This is
+//     Destor's "lookup requests per GB" numerator.
+//   * memory_bytes() — resident size of the index tables the scheme must
+//     keep in RAM (full table / hook index / SHTable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/chunk.h"
+#include "storage/recipe.h"
+
+namespace hds {
+
+struct IndexStats {
+  std::uint64_t disk_lookups = 0;   // on-disk index/manifest/block fetches
+  std::uint64_t cache_hits = 0;     // answered from in-memory state
+  std::uint64_t dup_chunks = 0;
+  std::uint64_t unique_chunks = 0;
+
+  void reset() noexcept { *this = IndexStats{}; }
+};
+
+class FingerprintIndex {
+ public:
+  virtual ~FingerprintIndex() = default;
+
+  virtual void begin_version(VersionId version) { (void)version; }
+
+  // For each chunk of the segment: the container holding an existing copy,
+  // or nullopt if the scheme considers it unique (must be stored).
+  // Near-exact schemes may return nullopt for true duplicates — that is
+  // their documented dedup-ratio loss.
+  virtual std::vector<std::optional<ContainerId>> dedup_segment(
+      std::span<const ChunkRecord> chunks) = 0;
+
+  // Called after the segment's chunks reach their final homes, in stream
+  // order (duplicates carry their old container, uniques their new one).
+  // Segment-based schemes build manifests/blocks from this.
+  virtual void finish_segment(std::span<const RecipeEntry> entries) = 0;
+
+  virtual void end_version() {}
+
+  // Garbage collection moved (`remap`) or dropped (`erased`) chunks; the
+  // index must stop handing out stale container IDs. Schemes unable to
+  // update in place must at least forget the affected fingerprints (a
+  // dedup-ratio loss, never a correctness one).
+  virtual void apply_gc(
+      const std::unordered_map<Fingerprint, ContainerId>& remap,
+      const std::unordered_set<Fingerprint>& erased) {
+    (void)remap;
+    (void)erased;
+  }
+
+  [[nodiscard]] virtual std::uint64_t memory_bytes() const = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] const IndexStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ protected:
+  IndexStats stats_;
+};
+
+}  // namespace hds

@@ -1,0 +1,104 @@
+#include "index/full_index.h"
+
+namespace hds {
+
+FullIndex::FullIndex(const FullIndexConfig& config)
+    : config_(config),
+      bloom_(config.expected_chunks, config.bloom_fp_rate) {}
+
+void FullIndex::cache_container(ContainerId cid) {
+  if (const auto pos = lru_pos_.find(cid); pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+  } else {
+    for (const auto& fp : container_members_[cid]) cache_[fp] = cid;
+  }
+  lru_.push_front(cid);
+  lru_pos_[cid] = lru_.begin();
+
+  while (lru_.size() > config_.cache_containers) {
+    const ContainerId victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    for (const auto& fp : container_members_[victim]) {
+      const auto it = cache_.find(fp);
+      if (it != cache_.end() && it->second == victim) cache_.erase(it);
+    }
+  }
+}
+
+std::optional<ContainerId> FullIndex::lookup_one(const Fingerprint& fp) {
+  // 1. Locality cache: free.
+  if (const auto it = cache_.find(fp); it != cache_.end()) {
+    stats_.cache_hits++;
+    cache_container(it->second);  // refresh recency
+    return it->second;
+  }
+  // 2. Bloom filter: "definitely new" costs nothing.
+  if (!bloom_.may_contain(fp)) return std::nullopt;
+  // 3. Probe the full table: one disk lookup, hit or miss (a miss here is a
+  // Bloom false positive and still pays the I/O).
+  stats_.disk_lookups++;
+  const auto it = table_.find(fp);
+  if (it == table_.end()) return std::nullopt;
+  cache_container(it->second);
+  return it->second;
+}
+
+std::vector<std::optional<ContainerId>> FullIndex::dedup_segment(
+    std::span<const ChunkRecord> chunks) {
+  std::vector<std::optional<ContainerId>> out;
+  out.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    auto loc = lookup_one(chunk.fp);
+    if (loc) {
+      stats_.dup_chunks++;
+    } else {
+      stats_.unique_chunks++;
+    }
+    out.push_back(loc);
+  }
+  return out;
+}
+
+void FullIndex::finish_segment(std::span<const RecipeEntry> entries) {
+  for (const auto& e : entries) {
+    if (e.cid <= 0) continue;
+    const auto [it, inserted] = table_.emplace(e.fp, e.cid);
+    if (inserted) {
+      bloom_.insert(e.fp);
+      container_members_[e.cid].push_back(e.fp);
+    }
+  }
+}
+
+void FullIndex::apply_gc(
+    const std::unordered_map<Fingerprint, ContainerId>& remap,
+    const std::unordered_set<Fingerprint>& erased) {
+  // The Bloom filter cannot unlearn erased fingerprints; their future
+  // probes become counted disk lookups that miss — exactly how DDFS pays
+  // for deletions in practice.
+  for (const auto& fp : erased) {
+    if (const auto it = table_.find(fp); it != table_.end()) {
+      const auto it_cache = cache_.find(fp);
+      if (it_cache != cache_.end()) cache_.erase(it_cache);
+      table_.erase(it);
+    }
+  }
+  for (const auto& [fp, cid] : remap) {
+    if (const auto it = table_.find(fp); it != table_.end()) {
+      it->second = cid;
+      container_members_[cid].push_back(fp);
+      if (const auto it_cache = cache_.find(fp); it_cache != cache_.end()) {
+        it_cache->second = cid;
+      }
+    }
+  }
+}
+
+std::uint64_t FullIndex::memory_bytes() const {
+  // 20-byte key + 4-byte container ID per entry, plus the Bloom filter.
+  return table_.size() * (kFingerprintSize + sizeof(ContainerId)) +
+         bloom_.memory_bytes();
+}
+
+}  // namespace hds

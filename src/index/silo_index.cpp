@@ -1,0 +1,116 @@
+#include "index/silo_index.h"
+
+#include <algorithm>
+
+namespace hds {
+
+SiLoIndex::SiLoIndex(const SiLoConfig& config) : config_(config) {}
+
+void SiLoIndex::touch_block(BlockId id) {
+  if (const auto it = cached_.find(id); it != cached_.end()) {
+    cache_lru_.erase(it->second);
+  } else {
+    // Fetching a block from disk is the scheme's I/O cost.
+    stats_.disk_lookups++;
+  }
+  cache_lru_.push_front(id);
+  cached_[id] = cache_lru_.begin();
+  while (cache_lru_.size() > config_.read_cache_blocks) {
+    cached_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+std::vector<std::optional<ContainerId>> SiLoIndex::dedup_segment(
+    std::span<const ChunkRecord> chunks) {
+  // Representative fingerprint = minimum of the segment (min-hash).
+  if (!chunks.empty()) {
+    const auto rep = std::min_element(chunks.begin(), chunks.end(),
+                                      [](const auto& a, const auto& b) {
+                                        return a.fp < b.fp;
+                                      })
+                         ->fp;
+    const auto it = sh_table_.find(rep);
+    // A representative can point at the still-unflushed write block; that
+    // case is already covered by the in-RAM write-buffer probe below.
+    if (it != sh_table_.end() && blocks_.contains(it->second)) {
+      touch_block(it->second);
+    }
+  }
+
+  std::vector<std::optional<ContainerId>> out;
+  out.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    std::optional<ContainerId> loc;
+    // 1. The write buffer captures immediate stream locality.
+    if (const auto it = write_block_.chunks.find(chunk.fp);
+        it != write_block_.chunks.end()) {
+      loc = it->second;
+    }
+    // 2. Cached similarity blocks.
+    if (!loc) {
+      for (const BlockId id : cache_lru_) {
+        const auto& block = blocks_.at(id);
+        if (const auto it = block.chunks.find(chunk.fp);
+            it != block.chunks.end()) {
+          loc = it->second;
+          break;
+        }
+      }
+    }
+    if (loc) {
+      stats_.cache_hits++;
+      stats_.dup_chunks++;
+    } else {
+      stats_.unique_chunks++;
+    }
+    out.push_back(loc);
+  }
+  return out;
+}
+
+void SiLoIndex::finish_segment(std::span<const RecipeEntry> entries) {
+  Fingerprint rep;
+  bool have_rep = false;
+  for (const auto& e : entries) {
+    if (e.cid <= 0) continue;
+    write_block_.chunks.emplace(e.fp, e.cid);
+    if (!have_rep || e.fp < rep) {
+      rep = e.fp;
+      have_rep = true;
+    }
+  }
+  if (have_rep) {
+    // The representative points at the block that will contain the segment.
+    sh_table_[rep] = next_block_;
+  }
+  if (++write_block_segments_ >= config_.segments_per_block) {
+    blocks_.emplace(next_block_, std::move(write_block_));
+    next_block_++;
+    write_block_ = Block{};
+    write_block_segments_ = 0;
+  }
+}
+
+void SiLoIndex::apply_gc(
+    const std::unordered_map<Fingerprint, ContainerId>& remap,
+    const std::unordered_set<Fingerprint>& erased) {
+  auto patch = [&](Block& block) {
+    std::erase_if(block.chunks,
+                  [&](const auto& pair) { return erased.contains(pair.first); });
+    for (auto& [fp, cid] : block.chunks) {
+      if (const auto it = remap.find(fp); it != remap.end()) {
+        cid = it->second;
+      }
+    }
+  };
+  for (auto& [id, block] : blocks_) patch(block);
+  patch(write_block_);
+}
+
+std::uint64_t SiLoIndex::memory_bytes() const {
+  // SHTable: 20-byte representative + 8-byte block id per segment.
+  return sh_table_.size() * (kFingerprintSize + sizeof(BlockId));
+}
+
+}  // namespace hds

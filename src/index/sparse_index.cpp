@@ -1,0 +1,101 @@
+#include "index/sparse_index.h"
+
+#include <algorithm>
+
+namespace hds {
+
+SparseIndex::SparseIndex(const SparseIndexConfig& config) : config_(config) {}
+
+std::vector<std::optional<ContainerId>> SparseIndex::dedup_segment(
+    std::span<const ChunkRecord> chunks) {
+  // 1. Sample hooks and score candidate manifests by hook overlap.
+  std::unordered_map<ManifestId, std::size_t> scores;
+  for (const auto& chunk : chunks) {
+    if (!is_hook(chunk.fp)) continue;
+    const auto it = hook_index_.find(chunk.fp);
+    if (it == hook_index_.end()) continue;
+    for (const ManifestId m : it->second) scores[m]++;
+  }
+
+  // 2. Choose champions: highest hook overlap first (ties: newer manifest,
+  // which tends to have better physical locality).
+  std::vector<std::pair<ManifestId, std::size_t>> ranked(scores.begin(),
+                                                         scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first > b.first;
+  });
+  if (ranked.size() > config_.max_champions) {
+    ranked.resize(config_.max_champions);
+  }
+
+  // 3. Load champions (one disk lookup each) and merge their chunk lists.
+  std::unordered_map<Fingerprint, ContainerId> known;
+  for (const auto& [manifest, score] : ranked) {
+    (void)score;
+    stats_.disk_lookups++;
+    for (const auto& [fp, cid] : manifests_.at(manifest)) {
+      known.emplace(fp, cid);
+    }
+  }
+
+  // 4. Deduplicate strictly against the champions.
+  std::vector<std::optional<ContainerId>> out;
+  out.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    const auto it = known.find(chunk.fp);
+    if (it != known.end()) {
+      stats_.cache_hits++;
+      stats_.dup_chunks++;
+      out.emplace_back(it->second);
+    } else {
+      stats_.unique_chunks++;
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+void SparseIndex::finish_segment(std::span<const RecipeEntry> entries) {
+  const ManifestId manifest = next_manifest_++;
+  auto& list = manifests_[manifest];
+  list.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (e.cid <= 0) continue;
+    list.emplace_back(e.fp, e.cid);
+    if (e.fp.prefix64() % config_.sample_rate == 0) {
+      auto& owners = hook_index_[e.fp];
+      owners.push_back(manifest);
+      // Keep only the most recent owners per hook (bounded RAM).
+      while (owners.size() > config_.max_manifests_per_hook) {
+        owners.pop_front();
+      }
+    }
+  }
+}
+
+void SparseIndex::apply_gc(
+    const std::unordered_map<Fingerprint, ContainerId>& remap,
+    const std::unordered_set<Fingerprint>& erased) {
+  // Manifests are segment snapshots on disk; GC patches them in place so
+  // champion-based dedup never hands out a retired container ID.
+  for (auto& [id, list] : manifests_) {
+    std::erase_if(list, [&](const auto& pair) {
+      return erased.contains(pair.first);
+    });
+    for (auto& [fp, cid] : list) {
+      if (const auto it = remap.find(fp); it != remap.end()) {
+        cid = it->second;
+      }
+    }
+  }
+}
+
+std::uint64_t SparseIndex::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [hook, owners] : hook_index_) {
+    total += kFingerprintSize + owners.size() * sizeof(ManifestId);
+  }
+  return total;
+}
+
+}  // namespace hds

@@ -1,0 +1,60 @@
+// SparseIndex — Sparse Indexing (Lillibridge et al., FAST'09).
+//
+// Near-exact dedup that keeps only a *sampled* index in RAM:
+//   * each incoming segment samples "hooks" (fingerprints whose low bits are
+//     zero, one per `sample_rate` chunks on average);
+//   * hooks are looked up in the sparse hook→manifest index to score past
+//     segment manifests; the top `max_champions` manifests are loaded from
+//     disk (each load = one disk lookup) and the segment is deduplicated
+//     against their chunk lists only;
+//   * chunks absent from every champion are stored again — the documented
+//     dedup-ratio loss of sampling (paper §5.2.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "index/fingerprint_index.h"
+
+namespace hds {
+
+struct SparseIndexConfig {
+  std::uint32_t sample_rate = 64;  // 1 hook per 64 chunks on average
+  std::size_t max_champions = 2;   // manifests loaded per segment
+  std::size_t max_manifests_per_hook = 4;
+};
+
+class SparseIndex final : public FingerprintIndex {
+ public:
+  explicit SparseIndex(const SparseIndexConfig& config = {});
+
+  std::vector<std::optional<ContainerId>> dedup_segment(
+      std::span<const ChunkRecord> chunks) override;
+  void finish_segment(std::span<const RecipeEntry> entries) override;
+  void apply_gc(const std::unordered_map<Fingerprint, ContainerId>& remap,
+                const std::unordered_set<Fingerprint>& erased) override;
+
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sparse";
+  }
+
+ private:
+  using ManifestId = std::uint64_t;
+
+  [[nodiscard]] bool is_hook(const Fingerprint& fp) const noexcept {
+    return fp.prefix64() % config_.sample_rate == 0;
+  }
+
+  SparseIndexConfig config_;
+  // In-memory sparse index: hook → manifests containing it.
+  std::unordered_map<Fingerprint, std::deque<ManifestId>> hook_index_;
+  // On-disk manifests (segment recipes); loads are counted as disk lookups.
+  std::unordered_map<ManifestId,
+                     std::vector<std::pair<Fingerprint, ContainerId>>>
+      manifests_;
+  ManifestId next_manifest_ = 1;
+};
+
+}  // namespace hds

@@ -1,0 +1,183 @@
+#include "restore/alacc.h"
+
+#include <cstring>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hds {
+
+namespace {
+// LRU chunk cache with a byte budget.
+class ChunkCache {
+ public:
+  void set_capacity(std::size_t bytes) {
+    capacity_ = bytes;
+    evict_to_fit();
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>* get(const Fingerprint& fp) {
+    const auto it = entries_.find(fp);
+    if (it == entries_.end()) return nullptr;
+    lru_.erase(it->second.pos);
+    lru_.push_front(fp);
+    it->second.pos = lru_.begin();
+    return &it->second.bytes;
+  }
+
+  void put(const Fingerprint& fp, std::span<const std::uint8_t> bytes) {
+    if (entries_.contains(fp) || bytes.size() > capacity_) return;
+    lru_.push_front(fp);
+    entries_.emplace(
+        fp, Entry{std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+                  lru_.begin()});
+    used_ += bytes.size();
+    evict_to_fit();
+  }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::list<Fingerprint>::iterator pos;
+  };
+
+  void evict_to_fit() {
+    while (used_ > capacity_ && !lru_.empty()) {
+      const auto it = entries_.find(lru_.back());
+      used_ -= it->second.bytes.size();
+      entries_.erase(it);
+      lru_.pop_back();
+    }
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::list<Fingerprint> lru_;
+  std::unordered_map<Fingerprint, Entry> entries_;
+};
+}  // namespace
+
+RestoreStats AlaccRestore::restore(std::span<const ChunkLoc> stream,
+                                   ContainerFetcher& fetcher,
+                                   const ChunkSink& sink) {
+  RestoreStats stats;
+
+  // Initial split: half assembly area, half chunk cache.
+  std::size_t area_bytes = std::max(container_size_, total_budget_ / 2);
+  ChunkCache cache;
+  cache.set_capacity(total_budget_ - std::min(total_budget_, area_bytes));
+
+  std::vector<std::uint8_t> area;
+  std::vector<std::size_t> offsets;
+  std::vector<bool> filled;
+
+  std::uint64_t epoch_cache_hits = 0;
+  std::uint64_t epoch_reads = 0;
+
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    std::size_t end = pos;
+    std::size_t total = 0;
+    while (end < stream.size() &&
+           (end == pos || total + stream[end].size <= area_bytes)) {
+      total += stream[end].size;
+      ++end;
+    }
+
+    area.assign(total, 0);
+    offsets.assign(end - pos, 0);
+    filled.assign(end - pos, false);
+    std::size_t offset = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      offsets[i - pos] = offset;
+      offset += stream[i].size;
+    }
+
+    // Fingerprints needed beyond this area, within the look-ahead window:
+    // candidates for the chunk cache.
+    std::unordered_set<Fingerprint> needed_later;
+    const std::size_t look_end =
+        std::min(stream.size(), end + lookahead_chunks_);
+    for (std::size_t j = end; j < look_end; ++j) {
+      needed_later.insert(stream[j].fp);
+    }
+
+    for (std::size_t i = pos; i < end; ++i) {
+      if (filled[i - pos]) continue;
+
+      // 1. Chunk cache.
+      if (const auto* bytes = cache.get(stream[i].fp)) {
+        std::memcpy(area.data() + offsets[i - pos], bytes->data(),
+                    bytes->size());
+        filled[i - pos] = true;
+        stats.cache_hits++;
+        epoch_cache_hits++;
+        continue;
+      }
+
+      // 2. Container read: fill all slots it serves, feed the chunk cache
+      // with its look-ahead-relevant chunks.
+      const auto container = fetcher.fetch(stream[i]);
+      stats.container_reads++;
+      epoch_reads++;
+      if (!container) {
+        for (std::size_t j = i; j < end; ++j) {
+          if (!filled[j - pos] && stream[j].key() == stream[i].key()) {
+            filled[j - pos] = true;
+            stats.failed_chunks++;
+          }
+        }
+        continue;
+      }
+      for (std::size_t j = i; j < end; ++j) {
+        if (filled[j - pos] || stream[j].key() != stream[i].key()) continue;
+        if (const auto bytes = container->read(stream[j].fp)) {
+          std::memcpy(area.data() + offsets[j - pos], bytes->data(),
+                      bytes->size());
+          filled[j - pos] = true;
+          if (j != i) stats.cache_hits++;
+        }
+      }
+      for (const auto& [fp, entry] : container->entries()) {
+        if (!needed_later.contains(fp)) continue;
+        if (const auto bytes = container->read(fp)) cache.put(fp, *bytes);
+      }
+      // Chunks whose assigned container lacks them stay unfilled: fail
+      // them once instead of refetching.
+      for (std::size_t j = i; j < end; ++j) {
+        if (!filled[j - pos] && stream[j].key() == stream[i].key()) {
+          filled[j - pos] = true;
+          stats.failed_chunks++;
+        }
+      }
+    }
+
+    for (std::size_t i = pos; i < end; ++i) {
+      sink(stream[i],
+           std::span(area.data() + offsets[i - pos], stream[i].size));
+      stats.restored_bytes += stream[i].size;
+      stats.restored_chunks++;
+    }
+    pos = end;
+
+    // Adaptation: every few areas, move one container's worth of memory
+    // toward whichever side is earning its keep.
+    if (epoch_reads + epoch_cache_hits >= 64) {
+      const bool cache_earning = epoch_cache_hits * 4 >= epoch_reads;
+      const std::size_t step = container_size_;
+      if (cache_earning && area_bytes > 2 * step) {
+        area_bytes -= step;
+      } else if (!cache_earning && area_bytes + step <= total_budget_) {
+        area_bytes += step;
+      }
+      cache.set_capacity(total_budget_ -
+                         std::min(total_budget_, area_bytes));
+      epoch_cache_hits = 0;
+      epoch_reads = 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hds

@@ -1,0 +1,36 @@
+// ALACC — Adaptive Look-Ahead Chunk Caching (Cao, Wen, Xie & Du, FAST'18).
+//
+// Combines a forward assembly area with a chunk cache and adapts the split
+// between them. When a container is read to fill the area, chunks of it
+// that the look-ahead window (recipe knowledge beyond the area) says will
+// be needed again are admitted to the chunk cache; area misses consult the
+// cache before paying a container read. Periodically, the policy shifts
+// memory toward whichever side (area vs cache) produced more hits — a
+// faithful, simplified rendering of ALACC's adaptive sizing.
+#pragma once
+
+#include "restore/restorer.h"
+
+namespace hds {
+
+class AlaccRestore final : public RestorePolicy {
+ public:
+  explicit AlaccRestore(const RestoreConfig& config)
+      : total_budget_(config.memory_budget),
+        container_size_(config.container_size),
+        lookahead_chunks_(config.lookahead_chunks) {}
+
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "alacc";
+  }
+
+ private:
+  std::size_t total_budget_;
+  std::size_t container_size_;
+  std::size_t lookahead_chunks_;
+};
+
+}  // namespace hds

@@ -1,0 +1,129 @@
+#include "restore/basic_caches.h"
+
+namespace hds {
+
+RestoreStats NoCacheRestore::restore(std::span<const ChunkLoc> stream,
+                                     ContainerFetcher& fetcher,
+                                     const ChunkSink& sink) {
+  RestoreStats stats;
+  std::shared_ptr<const Container> current;
+  std::uint64_t current_key = ~0ULL;
+  for (const auto& loc : stream) {
+    if (!current || loc.key() != current_key) {
+      current = fetcher.fetch(loc);
+      current_key = loc.key();
+      stats.container_reads++;
+    } else {
+      stats.cache_hits++;
+    }
+    const auto bytes =
+        current ? current->read(loc.fp)
+                : std::optional<std::span<const std::uint8_t>>{};
+    if (!bytes) stats.failed_chunks++;
+    sink(loc, bytes ? *bytes : std::span<const std::uint8_t>{});
+    stats.restored_bytes += loc.size;
+    stats.restored_chunks++;
+  }
+  return stats;
+}
+
+RestoreStats ContainerLruRestore::restore(std::span<const ChunkLoc> stream,
+                                          ContainerFetcher& fetcher,
+                                          const ChunkSink& sink) {
+  RestoreStats stats;
+  std::list<std::uint64_t> lru;  // front = most recent
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::shared_ptr<const Container>,
+                               std::list<std::uint64_t>::iterator>>
+      cache;
+
+  for (const auto& loc : stream) {
+    const std::uint64_t key = loc.key();
+    std::shared_ptr<const Container> container;
+    if (const auto it = cache.find(key); it != cache.end()) {
+      stats.cache_hits++;
+      lru.erase(it->second.second);
+      lru.push_front(key);
+      it->second.second = lru.begin();
+      container = it->second.first;
+    } else {
+      container = fetcher.fetch(loc);
+      stats.container_reads++;
+      if (container) {
+        lru.push_front(key);
+        cache.emplace(key, std::make_pair(container, lru.begin()));
+        while (cache.size() > capacity_) {
+          cache.erase(lru.back());
+          lru.pop_back();
+        }
+      }
+    }
+    const auto bytes =
+        container ? container->read(loc.fp)
+                  : std::optional<std::span<const std::uint8_t>>{};
+    if (!bytes) stats.failed_chunks++;
+    sink(loc, bytes ? *bytes : std::span<const std::uint8_t>{});
+    stats.restored_bytes += loc.size;
+    stats.restored_chunks++;
+  }
+  return stats;
+}
+
+RestoreStats ChunkLruRestore::restore(std::span<const ChunkLoc> stream,
+                                      ContainerFetcher& fetcher,
+                                      const ChunkSink& sink) {
+  RestoreStats stats;
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::list<Fingerprint>::iterator pos;
+  };
+  std::list<Fingerprint> lru;  // front = most recent
+  std::unordered_map<Fingerprint, Entry> cache;
+  std::size_t cached_bytes = 0;
+
+  auto evict_to_fit = [&] {
+    while (cached_bytes > capacity_bytes_ && !lru.empty()) {
+      const auto it = cache.find(lru.back());
+      cached_bytes -= it->second.bytes.size();
+      cache.erase(it);
+      lru.pop_back();
+    }
+  };
+
+  for (const auto& loc : stream) {
+    if (const auto it = cache.find(loc.fp); it != cache.end()) {
+      stats.cache_hits++;
+      lru.erase(it->second.pos);
+      lru.push_front(loc.fp);
+      it->second.pos = lru.begin();
+      sink(loc, it->second.bytes);
+    } else if (const auto container = fetcher.fetch(loc); container) {
+      stats.container_reads++;
+      // Admit every chunk of the fetched container: stream locality makes
+      // its neighbours likely to be needed soon.
+      for (const auto& [fp, entry] : container->entries()) {
+        if (cache.contains(fp)) continue;
+        const auto bytes = container->read(fp);
+        if (!bytes) continue;
+        lru.push_front(fp);
+        cache.emplace(
+            fp, Entry{std::vector<std::uint8_t>(bytes->begin(), bytes->end()),
+                      lru.begin()});
+        cached_bytes += bytes->size();
+      }
+      evict_to_fit();
+      const auto bytes = container->read(loc.fp);
+      if (!bytes) stats.failed_chunks++;
+      sink(loc, bytes ? *bytes : std::span<const std::uint8_t>{});
+    } else {
+      stats.container_reads++;
+      stats.failed_chunks++;
+      sink(loc, {});
+    }
+    stats.restored_bytes += loc.size;
+    stats.restored_chunks++;
+  }
+  return stats;
+}
+
+}  // namespace hds

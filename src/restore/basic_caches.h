@@ -1,0 +1,63 @@
+// The classic restore caches (paper §2.3):
+//   * NoCacheRestore      — reads a container per chunk, coalescing only
+//                           consecutive chunks from the same container;
+//   * ContainerLruRestore — LRU over whole containers (Zhu'08 style);
+//   * ChunkLruRestore     — LRU over individual chunks: every fetched
+//                           container's chunks enter the cache, so useful
+//                           bytes survive even after their container is
+//                           evicted (finer-grained, better for fragmented
+//                           streams).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "restore/restorer.h"
+
+namespace hds {
+
+class NoCacheRestore final : public RestorePolicy {
+ public:
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "nocache";
+  }
+};
+
+class ContainerLruRestore final : public RestorePolicy {
+ public:
+  explicit ContainerLruRestore(const RestoreConfig& config)
+      : capacity_(std::max<std::size_t>(
+            1, config.memory_budget / config.container_size)) {}
+
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "container-lru";
+  }
+
+ private:
+  std::size_t capacity_;
+};
+
+class ChunkLruRestore final : public RestorePolicy {
+ public:
+  explicit ChunkLruRestore(const RestoreConfig& config)
+      : capacity_bytes_(config.memory_budget) {}
+
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "chunk-lru";
+  }
+
+ private:
+  std::size_t capacity_bytes_;
+};
+
+}  // namespace hds

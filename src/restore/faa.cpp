@@ -1,0 +1,83 @@
+#include "restore/faa.h"
+
+#include <cstring>
+#include <vector>
+
+namespace hds {
+
+RestoreStats FaaRestore::restore(std::span<const ChunkLoc> stream,
+                                 ContainerFetcher& fetcher,
+                                 const ChunkSink& sink) {
+  RestoreStats stats;
+  std::vector<std::uint8_t> area;
+  std::vector<std::size_t> offsets;
+  std::vector<bool> filled;
+
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    // The area spans chunks [pos, end) with total size ≤ area_bytes_
+    // (always at least one chunk so oversized chunks cannot stall).
+    std::size_t end = pos;
+    std::size_t total = 0;
+    while (end < stream.size() &&
+           (end == pos || total + stream[end].size <= area_bytes_)) {
+      total += stream[end].size;
+      ++end;
+    }
+
+    area.assign(total, 0);
+    offsets.assign(end - pos, 0);
+    filled.assign(end - pos, false);
+    std::size_t offset = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      offsets[i - pos] = offset;
+      offset += stream[i].size;
+    }
+
+    for (std::size_t i = pos; i < end; ++i) {
+      if (filled[i - pos]) continue;
+      const auto container = fetcher.fetch(stream[i]);
+      stats.container_reads++;
+      if (!container) {
+        // Unfetchable container: fail every slot assigned to it (once),
+        // leaving the zero-initialized area bytes in place.
+        for (std::size_t j = i; j < end; ++j) {
+          if (!filled[j - pos] && stream[j].key() == stream[i].key()) {
+            filled[j - pos] = true;
+            stats.failed_chunks++;
+          }
+        }
+        continue;
+      }
+      // One read fills every area slot this container can serve.
+      for (std::size_t j = i; j < end; ++j) {
+        if (filled[j - pos] || stream[j].key() != stream[i].key()) continue;
+        if (const auto bytes = container->read(stream[j].fp)) {
+          std::memcpy(area.data() + offsets[j - pos], bytes->data(),
+                      bytes->size());
+          filled[j - pos] = true;
+          if (j != i) stats.cache_hits++;
+        }
+      }
+      // Slots whose assigned container lacks their chunk stay unfilled;
+      // fail them now so they are not refetched forever.
+      for (std::size_t j = i; j < end; ++j) {
+        if (!filled[j - pos] && stream[j].key() == stream[i].key()) {
+          filled[j - pos] = true;
+          stats.failed_chunks++;
+        }
+      }
+    }
+
+    for (std::size_t i = pos; i < end; ++i) {
+      sink(stream[i],
+           std::span(area.data() + offsets[i - pos], stream[i].size));
+      stats.restored_bytes += stream[i].size;
+      stats.restored_chunks++;
+    }
+    pos = end;
+  }
+  return stats;
+}
+
+}  // namespace hds

@@ -1,0 +1,30 @@
+// FAA — Forward Assembly Area (Lillibridge, Eshghi & Bhagwat, FAST'13).
+//
+// Uses the recipe's perfect future knowledge: an M-byte assembly buffer is
+// laid over the next M bytes of the stream; each container needed inside the
+// area is read exactly once, filling every slot it can serve, then the area
+// is flushed and slides forward. A container is re-read only if its chunks
+// are spread across more than one area.
+#pragma once
+
+#include "restore/restorer.h"
+
+namespace hds {
+
+class FaaRestore final : public RestorePolicy {
+ public:
+  explicit FaaRestore(const RestoreConfig& config)
+      : area_bytes_(config.memory_budget) {}
+
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "faa";
+  }
+
+ private:
+  std::size_t area_bytes_;
+};
+
+}  // namespace hds

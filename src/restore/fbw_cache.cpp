@@ -1,0 +1,122 @@
+#include "restore/fbw_cache.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace hds {
+
+namespace {
+// Position lists per fingerprint let us answer "when is this chunk needed
+// next?" with a binary search — the future knowledge the policy exploits.
+struct FutureIndex {
+  std::unordered_map<Fingerprint, std::vector<std::size_t>> positions;
+
+  explicit FutureIndex(std::span<const ChunkLoc> stream) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      positions[stream[i].fp].push_back(i);
+    }
+  }
+
+  // First use at or after `from`, clipped to the window; SIZE_MAX if none.
+  [[nodiscard]] std::size_t next_use(const Fingerprint& fp, std::size_t from,
+                                     std::size_t window_end) const {
+    const auto it = positions.find(fp);
+    if (it == positions.end()) return SIZE_MAX;
+    const auto& list = it->second;
+    const auto lb = std::lower_bound(list.begin(), list.end(), from);
+    if (lb == list.end() || *lb >= window_end) return SIZE_MAX;
+    return *lb;
+  }
+};
+}  // namespace
+
+RestoreStats FbwRestore::restore(std::span<const ChunkLoc> stream,
+                                 ContainerFetcher& fetcher,
+                                 const ChunkSink& sink) {
+  RestoreStats stats;
+  const FutureIndex future(stream);
+
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::map<std::size_t, Fingerprint>::iterator heap_pos;
+  };
+  std::unordered_map<Fingerprint, Entry> cache;
+  // Ordered by next-use position; eviction pops the farthest (rbegin).
+  std::map<std::size_t, Fingerprint> by_next_use;
+  std::size_t cached_bytes = 0;
+
+  auto erase_entry = [&](const Fingerprint& fp) {
+    const auto it = cache.find(fp);
+    if (it == cache.end()) return;
+    cached_bytes -= it->second.bytes.size();
+    by_next_use.erase(it->second.heap_pos);
+    cache.erase(it);
+  };
+
+  auto admit = [&](const Fingerprint& fp, std::span<const std::uint8_t> bytes,
+                   std::size_t next) {
+    if (cache.contains(fp) || bytes.size() > budget_bytes_) return;
+    // Evict farthest-next-use entries, but never for a chunk needed later
+    // than they are.
+    while (cached_bytes + bytes.size() > budget_bytes_) {
+      const auto farthest = std::prev(by_next_use.end());
+      if (farthest->first <= next) return;  // victim is more useful
+      erase_entry(farthest->second);
+    }
+    // Keys collide only for the same fingerprint at the same position, and
+    // duplicates were filtered above, so insertion always succeeds.
+    const auto [pos, ok] = by_next_use.emplace(next, fp);
+    if (!ok) return;
+    cache.emplace(fp,
+                  Entry{std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+                        pos});
+    cached_bytes += bytes.size();
+  };
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto& loc = stream[i];
+    const std::size_t window_end =
+        std::min(stream.size(), i + 1 + window_chunks_);
+
+    if (const auto it = cache.find(loc.fp); it != cache.end()) {
+      stats.cache_hits++;
+      sink(loc, it->second.bytes);
+      stats.restored_bytes += loc.size;
+      stats.restored_chunks++;
+      // Re-key to the next future use, or drop if none in window.
+      const std::size_t next = future.next_use(loc.fp, i + 1, window_end);
+      const std::vector<std::uint8_t> bytes = it->second.bytes;
+      erase_entry(loc.fp);
+      if (next != SIZE_MAX) admit(loc.fp, bytes, next);
+      continue;
+    }
+
+    const auto container = fetcher.fetch(loc);
+    stats.container_reads++;
+    if (!container) {
+      stats.failed_chunks++;
+      sink(loc, {});
+      stats.restored_bytes += loc.size;
+      stats.restored_chunks++;
+      continue;
+    }
+    const auto bytes = container->read(loc.fp);
+    if (!bytes) stats.failed_chunks++;
+    sink(loc, bytes ? *bytes : std::span<const std::uint8_t>{});
+    stats.restored_bytes += loc.size;
+    stats.restored_chunks++;
+
+    // Admit container chunks with a known upcoming use.
+    for (const auto& [fp, entry] : container->entries()) {
+      const std::size_t next = future.next_use(fp, i + 1, window_end);
+      if (next == SIZE_MAX) continue;
+      if (const auto chunk_bytes = container->read(fp)) {
+        admit(fp, *chunk_bytes, next);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hds

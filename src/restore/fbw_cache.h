@@ -1,0 +1,36 @@
+// FBW-style restore cache: a chunk cache managed with recipe future
+// knowledge (windowed Belady/OPT eviction).
+//
+// The HiDeStore paper pairs ALACC's rewriting with "FBW as the restore
+// caching scheme" (Cao et al., FAST'19). The essential idea is exploiting
+// the recipe's exact future reference order inside a bounded window: on
+// every container read, only chunks with a known upcoming use are admitted,
+// and eviction removes the chunk whose next use is farthest away — the
+// optimal choice within the window. Since the FAST'19 code is not
+// available, this is a from-scratch reconstruction of that principle
+// (substitution documented in DESIGN.md).
+#pragma once
+
+#include "restore/restorer.h"
+
+namespace hds {
+
+class FbwRestore final : public RestorePolicy {
+ public:
+  explicit FbwRestore(const RestoreConfig& config)
+      : budget_bytes_(config.memory_budget),
+        window_chunks_(config.lookahead_chunks) {}
+
+  RestoreStats restore(std::span<const ChunkLoc> stream,
+                       ContainerFetcher& fetcher,
+                       const ChunkSink& sink) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fbw";
+  }
+
+ private:
+  std::size_t budget_bytes_;
+  std::size_t window_chunks_;
+};
+
+}  // namespace hds

@@ -1,0 +1,60 @@
+#include "restore/partial.h"
+
+#include <vector>
+
+namespace hds {
+
+RestoreStats restore_byte_range(std::span<const ChunkLoc> stream,
+                                std::uint64_t offset, std::uint64_t length,
+                                RestorePolicy& policy,
+                                ContainerFetcher& fetcher,
+                                const ChunkSink& sink) {
+  // Locate the covering chunk sub-span.
+  std::size_t first = 0;
+  std::uint64_t first_start = 0;  // logical offset of stream[first]
+  std::uint64_t position = 0;
+  while (first < stream.size() && position + stream[first].size <= offset) {
+    position += stream[first].size;
+    ++first;
+  }
+  first_start = position;
+
+  std::size_t last = first;  // one past the final covered chunk
+  const std::uint64_t range_end = offset + length;
+  while (last < stream.size() && position < range_end) {
+    position += stream[last].size;
+    ++last;
+  }
+  if (first >= last || length == 0) return RestoreStats{};
+
+  const std::span covered = stream.subspan(first, last - first);
+
+  // Wrap the sink to trim the first and last chunks to the range.
+  std::uint64_t cursor = first_start;
+  RestoreStats stats = policy.restore(
+      covered, fetcher,
+      [&](const ChunkLoc& loc, std::span<const std::uint8_t> bytes) {
+        const std::uint64_t chunk_start = cursor;
+        const std::uint64_t chunk_end = cursor + loc.size;
+        cursor = chunk_end;
+
+        const std::uint64_t take_from = std::max(chunk_start, offset);
+        const std::uint64_t take_to = std::min(chunk_end, range_end);
+        if (take_from >= take_to) return;  // fully trimmed (cannot happen)
+        // Failed chunks arrive as empty spans; pass the emptiness through.
+        if (bytes.empty()) {
+          sink(loc, bytes);
+          return;
+        }
+        sink(loc, bytes.subspan(take_from - chunk_start,
+                                take_to - take_from));
+      });
+
+  // Report the bytes actually delivered, not the covering chunks' total.
+  const std::uint64_t delivered =
+      std::min(range_end, position) - std::max(first_start, offset);
+  stats.restored_bytes = delivered;
+  return stats;
+}
+
+}  // namespace hds

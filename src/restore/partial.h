@@ -1,0 +1,26 @@
+// Partial restore: reconstruct only a byte range of a backup stream.
+//
+// Backup tools rarely restore whole snapshots — they pull one file out of
+// last Tuesday's backup. Given the resolved chunk stream of a version and
+// a logical byte range, this runs a restore policy over just the chunks
+// overlapping the range and trims the first/last chunk so the sink
+// receives exactly the requested bytes. Container reads are counted as
+// usual, so the locality benefits (or penalties) of a layout show up in
+// partial restores too.
+#pragma once
+
+#include "restore/restorer.h"
+
+namespace hds {
+
+// Restores logical bytes [offset, offset + length) of `stream`. Returns
+// the policy's stats (restored_bytes counts the trimmed bytes actually
+// delivered). Ranges beyond the stream end are clipped; an empty
+// intersection is a no-op.
+RestoreStats restore_byte_range(std::span<const ChunkLoc> stream,
+                                std::uint64_t offset, std::uint64_t length,
+                                RestorePolicy& policy,
+                                ContainerFetcher& fetcher,
+                                const ChunkSink& sink);
+
+}  // namespace hds

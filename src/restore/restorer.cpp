@@ -1,0 +1,31 @@
+#include "restore/restorer.h"
+
+#include <stdexcept>
+
+#include "restore/alacc.h"
+#include "restore/basic_caches.h"
+#include "restore/faa.h"
+#include "restore/fbw_cache.h"
+
+namespace hds {
+
+std::unique_ptr<RestorePolicy> make_restore_policy(
+    RestorePolicyKind kind, const RestoreConfig& config) {
+  switch (kind) {
+    case RestorePolicyKind::kNoCache:
+      return std::make_unique<NoCacheRestore>();
+    case RestorePolicyKind::kContainerLru:
+      return std::make_unique<ContainerLruRestore>(config);
+    case RestorePolicyKind::kChunkLru:
+      return std::make_unique<ChunkLruRestore>(config);
+    case RestorePolicyKind::kFaa:
+      return std::make_unique<FaaRestore>(config);
+    case RestorePolicyKind::kAlacc:
+      return std::make_unique<AlaccRestore>(config);
+    case RestorePolicyKind::kFbw:
+      return std::make_unique<FbwRestore>(config);
+  }
+  throw std::invalid_argument("unknown RestorePolicyKind");
+}
+
+}  // namespace hds

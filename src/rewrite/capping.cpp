@@ -1,0 +1,38 @@
+#include "rewrite/capping.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hds {
+
+std::vector<bool> CappingRewrite::plan(
+    std::span<const ChunkRecord> chunks,
+    std::span<const std::optional<ContainerId>> locations) {
+  std::vector<bool> decisions(chunks.size(), false);
+
+  // Rank referenced old containers by the bytes they contribute.
+  std::unordered_map<ContainerId, std::uint64_t> contribution;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (locations[i]) contribution[*locations[i]] += chunks[i].size;
+  }
+  if (contribution.size() <= config_.cap) return decisions;
+
+  std::vector<std::pair<ContainerId, std::uint64_t>> ranked(
+      contribution.begin(), contribution.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first > b.first;
+  });
+
+  std::unordered_set<ContainerId> kept;
+  for (std::size_t i = 0; i < config_.cap; ++i) kept.insert(ranked[i].first);
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (locations[i] && !kept.contains(*locations[i])) {
+      mark(decisions, chunks, i);
+    }
+  }
+  return decisions;
+}
+
+}  // namespace hds

@@ -1,0 +1,30 @@
+// Capping (Lillibridge, Eshghi & Bhagwat, FAST'13).
+//
+// Bounds the number of distinct old containers a segment may reference to a
+// fixed cap T. Containers are ranked by how many of the segment's chunks
+// they supply; duplicates served by containers ranked past T are rewritten.
+// The restore cost of a segment is then at most T + (new containers), at a
+// dedup-ratio cost that grows as fragmentation worsens.
+#pragma once
+
+#include "rewrite/rewrite_filter.h"
+
+namespace hds {
+
+class CappingRewrite final : public RewriteFilter {
+ public:
+  explicit CappingRewrite(const RewriteConfig& config) : config_(config) {}
+
+  std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "capping";
+  }
+
+ private:
+  RewriteConfig config_;
+};
+
+}  // namespace hds

@@ -1,0 +1,54 @@
+#include "rewrite/cbr.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hds {
+
+std::vector<bool> CbrRewrite::plan(
+    std::span<const ChunkRecord> chunks,
+    std::span<const std::optional<ContainerId>> locations) {
+  std::vector<bool> decisions(chunks.size(), false);
+
+  // Stream-context contribution of each referenced container within this
+  // segment; the disk context is the container capacity.
+  std::unordered_map<ContainerId, std::uint64_t> useful;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    version_bytes_ += chunks[i].size;
+    if (locations[i]) useful[*locations[i]] += chunks[i].size;
+  }
+
+  const auto budget = static_cast<std::uint64_t>(
+      config_.cbr_budget_ratio * static_cast<double>(version_bytes_));
+
+  // CBR's adaptive threshold: spend the budget on the *worst* containers
+  // first (highest rewrite utility = smallest useful fraction), never going
+  // below the configured minimal utility. This emulates the original
+  // algorithm's "best-5%" utility quantile without a second stream pass.
+  std::vector<std::pair<std::uint64_t, ContainerId>> ranked;
+  ranked.reserve(useful.size());
+  for (const auto& [cid, bytes] : useful) ranked.emplace_back(bytes, cid);
+  std::sort(ranked.begin(), ranked.end());
+
+  std::unordered_set<ContainerId> victims;
+  std::uint64_t planned = version_rewritten_;
+  for (const auto& [bytes, cid] : ranked) {
+    const double utility = 1.0 - static_cast<double>(bytes) /
+                                     static_cast<double>(
+                                         config_.container_size);
+    if (utility < config_.cbr_utility_threshold) break;
+    if (planned + bytes > budget) break;
+    planned += bytes;
+    victims.insert(cid);
+  }
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (!locations[i] || !victims.contains(*locations[i])) continue;
+    version_rewritten_ += chunks[i].size;
+    mark(decisions, chunks, i);
+  }
+  return decisions;
+}
+
+}  // namespace hds

@@ -1,0 +1,39 @@
+// CBR — Context-Based Rewriting (Kaczmarczyk et al., SYSTOR'12).
+//
+// For each duplicate, compares its *stream context* (the bytes around it in
+// the backup) with its *disk context* (the container holding it). The
+// rewrite utility of a container is the fraction of it that is useless to
+// the current stream; duplicates in high-utility (mostly useless) containers
+// are rewritten, subject to a global rewrite budget (typically 5% of the
+// stream) so the dedup-ratio loss stays bounded.
+#pragma once
+
+#include "rewrite/rewrite_filter.h"
+
+namespace hds {
+
+class CbrRewrite final : public RewriteFilter {
+ public:
+  explicit CbrRewrite(const RewriteConfig& config) : config_(config) {}
+
+  void begin_version(VersionId version) override {
+    RewriteFilter::begin_version(version);
+    version_bytes_ = 0;
+    version_rewritten_ = 0;
+  }
+
+  std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cbr";
+  }
+
+ private:
+  RewriteConfig config_;
+  std::uint64_t version_bytes_ = 0;
+  std::uint64_t version_rewritten_ = 0;
+};
+
+}  // namespace hds

@@ -1,0 +1,43 @@
+#include "rewrite/cfl.h"
+
+#include <unordered_map>
+
+namespace hds {
+
+double CflRewrite::current_cfl() const noexcept {
+  if (referenced_.empty()) return 1.0;
+  const double optimal =
+      static_cast<double>(stream_bytes_) /
+      static_cast<double>(config_.container_size);
+  const double cfl = optimal / static_cast<double>(referenced_.size());
+  return cfl > 1.0 ? 1.0 : cfl;
+}
+
+std::vector<bool> CflRewrite::plan(
+    std::span<const ChunkRecord> chunks,
+    std::span<const std::optional<ContainerId>> locations) {
+  std::vector<bool> decisions(chunks.size(), false);
+
+  std::unordered_map<ContainerId, std::uint64_t> contribution;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (locations[i]) contribution[*locations[i]] += chunks[i].size;
+  }
+
+  const auto min_bytes = static_cast<std::uint64_t>(
+      config_.cfl_min_contribution *
+      static_cast<double>(config_.container_size));
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    stream_bytes_ += chunks[i].size;
+    if (!locations[i]) continue;  // unique: lands in a fresh container
+
+    // Account the reference first, then test the fragmentation level.
+    referenced_.insert(*locations[i]);
+    if (current_cfl() >= config_.cfl_threshold) continue;
+    if (contribution[*locations[i]] >= min_bytes) continue;
+    mark(decisions, chunks, i);
+  }
+  return decisions;
+}
+
+}  // namespace hds

@@ -1,0 +1,45 @@
+// CFL-SD — Chunk Fragmentation Level with Selective Duplication
+// (Nam, Park & Du, MASCOTS'12).
+//
+// CFL quantifies fragmentation as (optimal container count for the stream
+// so far) / (containers actually referenced). While CFL stays above a
+// threshold the stream restores fine and nothing is rewritten; once it
+// drops below, selective duplication kicks in: duplicates served by
+// containers contributing only a sliver of their capacity to the current
+// stream are rewritten until CFL recovers.
+#pragma once
+
+#include <unordered_set>
+
+#include "rewrite/rewrite_filter.h"
+
+namespace hds {
+
+class CflRewrite final : public RewriteFilter {
+ public:
+  explicit CflRewrite(const RewriteConfig& config) : config_(config) {}
+
+  void begin_version(VersionId version) override {
+    RewriteFilter::begin_version(version);
+    stream_bytes_ = 0;
+    referenced_.clear();
+  }
+
+  std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cfl";
+  }
+
+  // Current-version CFL (1.0 = perfectly sequential, lower = fragmented).
+  [[nodiscard]] double current_cfl() const noexcept;
+
+ private:
+  RewriteConfig config_;
+  std::uint64_t stream_bytes_ = 0;
+  std::unordered_set<ContainerId> referenced_;
+};
+
+}  // namespace hds

@@ -1,0 +1,62 @@
+#include "rewrite/dynamic_capping.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hds {
+
+std::vector<bool> DynamicCappingRewrite::plan(
+    std::span<const ChunkRecord> chunks,
+    std::span<const std::optional<ContainerId>> locations) {
+  std::vector<bool> decisions(chunks.size(), false);
+
+  std::uint64_t segment_bytes = 0;
+  std::unordered_map<ContainerId, std::uint64_t> contribution;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    segment_bytes += chunks[i].size;
+    if (locations[i] && !in_window(*locations[i])) {
+      contribution[*locations[i]] += chunks[i].size;
+    }
+  }
+  if (contribution.empty()) return decisions;
+
+  // Budget-driven dynamic cap: rewrite the least-contributing out-of-window
+  // containers first, until the per-segment budget is exhausted.
+  std::vector<std::pair<ContainerId, std::uint64_t>> ranked(
+      contribution.begin(), contribution.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+
+  const auto budget = static_cast<std::uint64_t>(
+      config_.fbw_budget_ratio * static_cast<double>(segment_bytes));
+  std::unordered_set<ContainerId> victims;
+  std::uint64_t spent = 0;
+  for (const auto& [cid, bytes] : ranked) {
+    if (spent + bytes > budget) break;
+    spent += bytes;
+    victims.insert(cid);
+  }
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (locations[i] && victims.contains(*locations[i])) {
+      mark(decisions, chunks, i);
+    }
+  }
+  return decisions;
+}
+
+void DynamicCappingRewrite::finish_segment(
+    std::span<const RecipeEntry> entries) {
+  for (const auto& e : entries) {
+    if (e.cid <= 0 || window_set_.contains(e.cid)) continue;
+    window_.push_back(e.cid);
+    window_set_.insert(e.cid);
+    while (window_.size() > config_.lookback_containers) {
+      window_set_.erase(window_.front());
+      window_.pop_front();
+    }
+  }
+}
+
+}  // namespace hds

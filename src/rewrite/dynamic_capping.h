@@ -1,0 +1,46 @@
+// Dynamic capping with a look-back window — the rewriting side of
+// Cao et al. (FAST'19), called FBW in the HiDeStore paper.
+//
+// Two refinements over fixed capping:
+//   * a sliding look-back window over recently written containers: a
+//     duplicate referencing a container the restore cache will certainly
+//     still hold is never worth rewriting, whatever its rank;
+//   * the cap is not fixed but derived per segment from a rewrite *budget*:
+//     out-of-window containers are sorted by ascending contribution and
+//     rewritten smallest-first until the budget is spent, which adapts the
+//     effective cap to how fragmented each workload region actually is.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "rewrite/rewrite_filter.h"
+
+namespace hds {
+
+class DynamicCappingRewrite final : public RewriteFilter {
+ public:
+  explicit DynamicCappingRewrite(const RewriteConfig& config)
+      : config_(config) {}
+
+  std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) override;
+
+  void finish_segment(std::span<const RecipeEntry> entries) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fbw";
+  }
+
+ private:
+  [[nodiscard]] bool in_window(ContainerId cid) const noexcept {
+    return window_set_.contains(cid);
+  }
+
+  RewriteConfig config_;
+  std::deque<ContainerId> window_;  // recently written containers, FIFO
+  std::unordered_set<ContainerId> window_set_;
+};
+
+}  // namespace hds

@@ -1,0 +1,29 @@
+#include "rewrite/rewrite_filter.h"
+
+#include <stdexcept>
+
+#include "rewrite/capping.h"
+#include "rewrite/cbr.h"
+#include "rewrite/cfl.h"
+#include "rewrite/dynamic_capping.h"
+
+namespace hds {
+
+std::unique_ptr<RewriteFilter> make_rewrite_filter(
+    RewriteKind kind, const RewriteConfig& config) {
+  switch (kind) {
+    case RewriteKind::kNone:
+      return std::make_unique<NoRewrite>();
+    case RewriteKind::kCapping:
+      return std::make_unique<CappingRewrite>(config);
+    case RewriteKind::kCbr:
+      return std::make_unique<CbrRewrite>(config);
+    case RewriteKind::kCfl:
+      return std::make_unique<CflRewrite>(config);
+    case RewriteKind::kDynamicCapping:
+      return std::make_unique<DynamicCappingRewrite>(config);
+  }
+  throw std::invalid_argument("unknown RewriteKind");
+}
+
+}  // namespace hds

@@ -1,0 +1,103 @@
+// RewriteFilter: decides which *duplicate* chunks to store again.
+//
+// Rewriting trades capacity for restore locality (paper §2.3): a duplicate
+// whose only copy sits in a far-away, sparsely useful container can be
+// written again next to its stream neighbours, cutting restore container
+// reads — at the cost of dedup ratio. Each scheme below is a published
+// policy for choosing those chunks. The pipeline consults the filter per
+// segment, after the index has produced dedup decisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/chunk.h"
+#include "storage/recipe.h"
+
+namespace hds {
+
+struct RewriteStats {
+  std::uint64_t rewritten_chunks = 0;
+  std::uint64_t rewritten_bytes = 0;
+
+  void reset() noexcept { *this = RewriteStats{}; }
+};
+
+class RewriteFilter {
+ public:
+  virtual ~RewriteFilter() = default;
+
+  virtual void begin_version(VersionId version) { (void)version; }
+  virtual void end_version() {}
+
+  // For each chunk: true = store a fresh copy even though `locations[i]`
+  // holds an existing one. Entries with locations[i] == nullopt are unique
+  // chunks and are ignored (they are stored regardless).
+  virtual std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) = 0;
+
+  // Reports where the segment's chunks finally landed, so history-aware
+  // schemes (look-back windows) can track recently written containers.
+  virtual void finish_segment(std::span<const RecipeEntry> entries) {
+    (void)entries;
+  }
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] const RewriteStats& stats() const noexcept { return stats_; }
+
+ protected:
+  // Marks chunk i for rewrite and updates accounting.
+  void mark(std::vector<bool>& decisions, std::span<const ChunkRecord> chunks,
+            std::size_t i) {
+    if (!decisions[i]) {
+      decisions[i] = true;
+      stats_.rewritten_chunks++;
+      stats_.rewritten_bytes += chunks[i].size;
+    }
+  }
+
+  RewriteStats stats_;
+};
+
+// Baseline: never rewrite (maximum dedup ratio, worst fragmentation).
+class NoRewrite final : public RewriteFilter {
+ public:
+  std::vector<bool> plan(
+      std::span<const ChunkRecord> chunks,
+      std::span<const std::optional<ContainerId>> locations) override {
+    (void)locations;
+    return std::vector<bool>(chunks.size(), false);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "none";
+  }
+};
+
+enum class RewriteKind { kNone, kCapping, kCbr, kCfl, kDynamicCapping };
+
+struct RewriteConfig {
+  // Capping: max old containers referenced per segment (Lillibridge'13:
+  // T≈8-20 per 20 MB segment; scaled to our 2 MiB segments).
+  std::size_t cap = 6;
+  // CBR: rewrite-utility threshold and rewrite budget (Kaczmarczyk'12).
+  double cbr_utility_threshold = 0.5;
+  double cbr_budget_ratio = 0.10;
+  // CFL: fragmentation threshold enabling selective rewrite (Nam'12).
+  double cfl_threshold = 0.6;
+  double cfl_min_contribution = 0.10;  // of container capacity
+  // Dynamic capping / FBW: look-back window (containers) + budget.
+  std::size_t lookback_containers = 16;
+  double fbw_budget_ratio = 0.05;
+  std::size_t container_size = 4 * 1024 * 1024;
+};
+
+[[nodiscard]] std::unique_ptr<RewriteFilter> make_rewrite_filter(
+    RewriteKind kind, const RewriteConfig& config = {});
+
+}  // namespace hds

@@ -1,0 +1,147 @@
+#include "storage/container.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace hds {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x48445343;  // "HDSC"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+}  // namespace
+
+bool Container::add(const Fingerprint& fp,
+                    std::span<const std::uint8_t> bytes) {
+  if (!fits(bytes.size()) || entries_.contains(fp)) return false;
+  const ContainerEntry entry{static_cast<std::uint32_t>(data_.size()),
+                             static_cast<std::uint32_t>(bytes.size())};
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  entries_.emplace(fp, entry);
+  used_ += bytes.size();
+  return true;
+}
+
+namespace {
+// Shared zero page serving reads of metadata-only chunks; sized for the
+// largest chunk any configuration produces.
+std::span<const std::uint8_t> zero_page(std::uint32_t size) {
+  static const std::vector<std::uint8_t> page(256 * 1024, 0);
+  return {page.data(), std::min<std::size_t>(size, page.size())};
+}
+}  // namespace
+
+bool Container::add_meta(const Fingerprint& fp, std::uint32_t size) {
+  if (!fits(size) || entries_.contains(fp)) return false;
+  entries_.emplace(fp, ContainerEntry{kVirtualOffset, size});
+  virtual_bytes_ += size;
+  used_ += size;
+  return true;
+}
+
+std::optional<std::span<const std::uint8_t>> Container::read(
+    const Fingerprint& fp) const noexcept {
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.offset == kVirtualOffset) {
+    return zero_page(it->second.size);
+  }
+  return std::span(data_.data() + it->second.offset, it->second.size);
+}
+
+std::optional<ContainerEntry> Container::find(
+    const Fingerprint& fp) const noexcept {
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Container::remove(const Fingerprint& fp) {
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return false;
+  used_ -= it->second.size;
+  entries_.erase(it);
+  return true;
+}
+
+void Container::compact() {
+  std::vector<std::uint8_t> packed;
+  packed.reserve(used_);
+  std::size_t live_virtual = 0;
+  for (auto& [fp, entry] : entries_) {
+    if (entry.offset == kVirtualOffset) {
+      live_virtual += entry.size;
+      continue;
+    }
+    const auto new_offset = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), data_.begin() + entry.offset,
+                  data_.begin() + entry.offset + entry.size);
+    entry.offset = new_offset;
+  }
+  data_ = std::move(packed);
+  virtual_bytes_ = live_virtual;
+}
+
+std::vector<std::uint8_t> Container::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(data_.size() + entries_.size() * 28 + 64);
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(id_));
+  put_u32(out, static_cast<std::uint32_t>(capacity_));
+  put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  put_u32(out, static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [fp, entry] : entries_) {
+    out.insert(out.end(), fp.bytes.begin(), fp.bytes.end());
+    put_u32(out, entry.offset);
+    put_u32(out, entry.size);
+  }
+  out.insert(out.end(), data_.begin(), data_.end());
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<Container> Container::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 24) return std::nullopt;
+  const std::uint32_t stored_crc = get_u32(bytes.data() + bytes.size() - 4);
+  if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) return std::nullopt;
+  if (get_u32(bytes.data()) != kMagic) return std::nullopt;
+
+  const auto id = static_cast<ContainerId>(get_u32(bytes.data() + 4));
+  const std::uint32_t capacity = get_u32(bytes.data() + 8);
+  const std::uint32_t count = get_u32(bytes.data() + 12);
+  const std::uint32_t data_size = get_u32(bytes.data() + 16);
+  const std::size_t table_bytes = std::size_t{count} * 28;
+  if (bytes.size() != 20 + table_bytes + data_size + 4) return std::nullopt;
+
+  Container c(id, capacity);
+  const std::uint8_t* p = bytes.data() + 20;
+  c.data_.assign(p + table_bytes, p + table_bytes + data_size);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Fingerprint fp;
+    std::memcpy(fp.bytes.data(), p, kFingerprintSize);
+    p += kFingerprintSize;
+    ContainerEntry entry{get_u32(p), get_u32(p + 4)};
+    p += 8;
+    if (entry.offset == kVirtualOffset) {
+      c.virtual_bytes_ += entry.size;
+    } else if (std::size_t{entry.offset} + entry.size > c.data_.size()) {
+      return std::nullopt;
+    }
+    c.entries_.emplace(fp, entry);
+    c.used_ += entry.size;
+  }
+  return c;
+}
+
+}  // namespace hds

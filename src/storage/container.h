@@ -1,0 +1,119 @@
+// Container: the 4 MiB on-disk unit that holds chunk contents (paper §2.1,
+// Figure 6).
+//
+// A container carries its ID, the used data size, and a fingerprint table
+// mapping each stored chunk to its offset/length — exactly the structure the
+// paper draws: restore reads whole containers and then picks chunks out of
+// them via this table. Containers are the unit of disk I/O everywhere in
+// this codebase; all restore-performance metrics count container reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/chunk.h"
+#include "common/fingerprint.h"
+#include "common/units.h"
+
+namespace hds {
+
+// Signed on purpose: recipes reuse the container-ID field to encode the
+// three location kinds of §4.3 (positive = archival container, zero =
+// active containers, negative = "look in recipe |CID|").
+using ContainerId = std::int32_t;
+
+inline constexpr ContainerId kCidActive = 0;
+
+struct ContainerEntry {
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+class Container {
+ public:
+  explicit Container(ContainerId id = kCidActive,
+                     std::size_t capacity = kDefaultContainerSize)
+      : id_(id), capacity_(capacity) {
+    data_.reserve(0);  // grown on demand; capacity_ bounds used bytes
+  }
+
+  [[nodiscard]] ContainerId id() const noexcept { return id_; }
+  void set_id(ContainerId id) noexcept { id_ = id; }
+
+  // True if a chunk of `size` bytes still fits (contiguously at the tail).
+  [[nodiscard]] bool fits(std::size_t size) const noexcept {
+    return data_size() + size <= capacity_;
+  }
+
+  // Adds a chunk; returns false when it does not fit or the fingerprint is
+  // already present (containers never hold duplicates).
+  bool add(const Fingerprint& fp, std::span<const std::uint8_t> bytes);
+
+  // Adds a chunk without materialized bytes (trace/simulated mode): space is
+  // fully accounted but no payload is allocated; read() serves such chunks
+  // from a shared zero page. Keeps metadata-only experiments allocation-free
+  // while every size/offset/I-O count stays identical to real mode.
+  bool add_meta(const Fingerprint& fp, std::uint32_t size);
+
+  [[nodiscard]] bool contains(const Fingerprint& fp) const noexcept {
+    return entries_.contains(fp);
+  }
+
+  // Returns the chunk bytes, or nullopt if absent.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> read(
+      const Fingerprint& fp) const noexcept;
+
+  [[nodiscard]] std::optional<ContainerEntry> find(
+      const Fingerprint& fp) const noexcept;
+
+  // Logically removes a chunk. The freed bytes are NOT reusable until
+  // compaction (paper Figure 6: variable-size holes cannot be refilled) —
+  // used_bytes() drops but data_size() stays, modeling the hole.
+  bool remove(const Fingerprint& fp);
+
+  // Rewrites the container in place, squeezing out removed chunks.
+  void compact();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  // Tail position: bytes consumed in the container, holes and virtual
+  // (metadata-only) payloads included.
+  [[nodiscard]] std::size_t data_size() const noexcept {
+    return data_.size() + virtual_bytes_;
+  }
+  // Live bytes: sum of sizes of chunks still present.
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return entries_.size();
+  }
+  // Paper's container utilization: live bytes / capacity.
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(used_) / static_cast<double>(capacity_);
+  }
+
+  [[nodiscard]] const std::unordered_map<Fingerprint, ContainerEntry>&
+  entries() const noexcept {
+    return entries_;
+  }
+
+  // Binary serialization (header + fingerprint table + data) with a CRC-32
+  // trailer. Round-trips through deserialize().
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Container> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  // Offset marker for metadata-only chunks (no stored payload).
+  static constexpr std::uint32_t kVirtualOffset = 0xFFFFFFFFu;
+
+  ContainerId id_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t virtual_bytes_ = 0;  // space consumed by metadata-only chunks
+  std::vector<std::uint8_t> data_;
+  std::unordered_map<Fingerprint, ContainerEntry> entries_;
+};
+
+}  // namespace hds

@@ -1,0 +1,124 @@
+#include "storage/container_store.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace hds {
+
+ContainerId ContainerStore::write(Container container) {
+  const ContainerId id = reserve_id();
+  container.set_id(id);
+  put(std::move(container));
+  return id;
+}
+
+void ContainerStore::put(Container container) {
+  const ContainerId id = container.id();
+  stats_.container_writes++;
+  stats_.bytes_written += container.data_size();
+  do_write(id, std::move(container));
+}
+
+std::shared_ptr<const Container> ContainerStore::read(ContainerId id) {
+  auto container = do_read(id);
+  if (container) {
+    stats_.container_reads++;
+    stats_.bytes_read += container->data_size();
+  }
+  return container;
+}
+
+bool ContainerStore::erase(ContainerId id) { return do_erase(id); }
+
+// --- MemoryContainerStore ---
+
+std::vector<ContainerId> MemoryContainerStore::ids() const {
+  std::vector<ContainerId> out;
+  out.reserve(containers_.size());
+  for (const auto& [id, _] : containers_) out.push_back(id);
+  return out;
+}
+
+void MemoryContainerStore::do_write(ContainerId id, Container&& container) {
+  containers_[id] = std::make_shared<const Container>(std::move(container));
+}
+
+std::shared_ptr<const Container> MemoryContainerStore::do_read(
+    ContainerId id) {
+  const auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : it->second;
+}
+
+bool MemoryContainerStore::do_erase(ContainerId id) {
+  return containers_.erase(id) > 0;
+}
+
+// --- FileContainerStore ---
+
+FileContainerStore::FileContainerStore(std::filesystem::path dir,
+                                       bool index_existing)
+    : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  if (!index_existing) return;
+  ContainerId max_id = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    // container_<id>.hdsc
+    if (name.rfind("container_", 0) != 0 || !entry.is_regular_file()) {
+      continue;
+    }
+    const auto id_str = name.substr(10, name.size() - 10 - 5);
+    char* end = nullptr;
+    const long id = std::strtol(id_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || id <= 0) continue;
+    known_[static_cast<ContainerId>(id)] = true;
+    max_id = std::max(max_id, static_cast<ContainerId>(id));
+  }
+  restore_next_id(max_id + 1);
+}
+
+std::filesystem::path FileContainerStore::path_for(ContainerId id) const {
+  return dir_ / ("container_" + std::to_string(id) + ".hdsc");
+}
+
+std::vector<ContainerId> FileContainerStore::ids() const {
+  std::vector<ContainerId> out;
+  out.reserve(known_.size());
+  for (const auto& [id, _] : known_) out.push_back(id);
+  return out;
+}
+
+void FileContainerStore::do_write(ContainerId id, Container&& container) {
+  const auto bytes = container.serialize();
+  std::ofstream out(path_for(id), std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("FileContainerStore: cannot open file");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("FileContainerStore: short write");
+  known_[id] = true;
+}
+
+std::shared_ptr<const Container> FileContainerStore::do_read(ContainerId id) {
+  if (!known_.contains(id)) return nullptr;
+  std::ifstream in(path_for(id), std::ios::binary | std::ios::ate);
+  if (!in) return nullptr;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return nullptr;
+  auto container = Container::deserialize(bytes);
+  if (!container) return nullptr;
+  return std::make_shared<const Container>(std::move(*container));
+}
+
+bool FileContainerStore::do_erase(ContainerId id) {
+  if (known_.erase(id) == 0) return false;
+  std::error_code ec;
+  std::filesystem::remove(path_for(id), ec);
+  return !ec;
+}
+
+}  // namespace hds

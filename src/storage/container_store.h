@@ -1,0 +1,119 @@
+// ContainerStore: the persistent pool of archival containers — the "disk".
+//
+// Every read is counted: the paper's restore metric (speed factor = MB
+// restored per container read) and its deletion/GC arguments are all
+// expressed in container I/Os, which deliberately abstracts away device
+// speed (§5.3). Two backends share the interface:
+//   * MemoryContainerStore — containers held in RAM; the default for
+//     experiments (I/O counts are what matter, not device latency);
+//   * FileContainerStore — each container serialized to its own file under
+//     a directory; proves the format round-trips through a real filesystem.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/container.h"
+
+namespace hds {
+
+struct IoStats {
+  std::uint64_t container_reads = 0;
+  std::uint64_t container_writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  void reset() noexcept { *this = IoStats{}; }
+};
+
+class ContainerStore {
+ public:
+  virtual ~ContainerStore() = default;
+
+  // Persists `container` and returns its assigned ID (always > 0).
+  ContainerId write(Container container);
+
+  // Reserves the next container ID without writing. Pipelines that fill a
+  // container incrementally need its ID up front so recipes can reference
+  // chunks before the container is sealed; the reserved container must
+  // eventually be stored via put().
+  [[nodiscard]] ContainerId reserve_id() noexcept { return next_id_++; }
+
+  // Persists a container that already carries a reserved ID.
+  void put(Container container);
+
+  // Fetches a container, counting one container read.
+  [[nodiscard]] std::shared_ptr<const Container> read(ContainerId id);
+
+  // Removes a container (expired-version deletion). Returns false if absent.
+  bool erase(ContainerId id);
+
+  [[nodiscard]] virtual std::size_t container_count() const = 0;
+  [[nodiscard]] virtual std::vector<ContainerId> ids() const = 0;
+
+  [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  [[nodiscard]] ContainerId next_id() const noexcept { return next_id_; }
+
+  // Persistence support: restores the ID counter of a reloaded store so
+  // future reservations never collide with existing containers.
+  void restore_next_id(ContainerId next) noexcept { next_id_ = next; }
+
+ protected:
+  virtual void do_write(ContainerId id, Container&& container) = 0;
+  virtual std::shared_ptr<const Container> do_read(ContainerId id) = 0;
+  virtual bool do_erase(ContainerId id) = 0;
+
+ private:
+  ContainerId next_id_ = 1;  // 0 is reserved for "active" in recipes
+  IoStats stats_;
+};
+
+class MemoryContainerStore final : public ContainerStore {
+ public:
+  [[nodiscard]] std::size_t container_count() const override {
+    return containers_.size();
+  }
+  [[nodiscard]] std::vector<ContainerId> ids() const override;
+
+ protected:
+  void do_write(ContainerId id, Container&& container) override;
+  std::shared_ptr<const Container> do_read(ContainerId id) override;
+  bool do_erase(ContainerId id) override;
+
+ private:
+  std::unordered_map<ContainerId, std::shared_ptr<const Container>>
+      containers_;
+};
+
+class FileContainerStore final : public ContainerStore {
+ public:
+  // Creates `dir` if needed. With `index_existing`, container files already
+  // present are registered (by filename) and the ID counter resumes past
+  // the highest one — reopening a persistent repository; otherwise existing
+  // files are ignored (fresh runs, round-trip validation).
+  explicit FileContainerStore(std::filesystem::path dir,
+                              bool index_existing = false);
+
+  [[nodiscard]] std::size_t container_count() const override {
+    return known_.size();
+  }
+  [[nodiscard]] std::vector<ContainerId> ids() const override;
+
+ protected:
+  void do_write(ContainerId id, Container&& container) override;
+  std::shared_ptr<const Container> do_read(ContainerId id) override;
+  bool do_erase(ContainerId id) override;
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(ContainerId id) const;
+
+  std::filesystem::path dir_;
+  std::unordered_map<ContainerId, bool> known_;
+};
+
+}  // namespace hds

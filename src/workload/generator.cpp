@@ -1,0 +1,184 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace hds {
+
+namespace {
+// Size is a pure function of the chunk id: uniform in [1 KiB, 7 KiB],
+// averaging the paper's 4 KiB.
+std::uint32_t size_from_id(std::uint64_t id) noexcept {
+  SplitMix64 mix(id ^ 0x73697A65ULL);  // "size"
+  return static_cast<std::uint32_t>(1024 + mix.next() % (6 * 1024 + 1));
+}
+}  // namespace
+
+ChunkRecord VersionChainGenerator::make_chunk(std::uint64_t id) noexcept {
+  ChunkRecord rec;
+  rec.fp = Fingerprint::from_seed(id);
+  rec.size = size_from_id(id);
+  rec.content_seed = id;
+  return rec;
+}
+
+VersionChainGenerator::VersionChainGenerator(WorkloadProfile profile)
+    : profile_(std::move(profile)),
+      rng_(profile_.seed),
+      // Ids are namespaced by the profile seed so different workloads never
+      // collide in shared stores.
+      id_counter_((profile_.seed << 20) + 1) {}
+
+VersionStream VersionChainGenerator::next_version() {
+  if (generated_ == 0) {
+    current_.reserve(profile_.chunks_per_version);
+    for (std::size_t i = 0; i < profile_.chunks_per_version; ++i) {
+      if (!current_.empty() && rng_.chance(profile_.intra_dup_rate)) {
+        current_.push_back(current_[rng_.next_below(current_.size())]);
+      } else {
+        current_.push_back(fresh_id());
+      }
+    }
+  } else {
+    apply_edits();
+  }
+  ++generated_;
+
+  VersionStream stream;
+  stream.chunks.reserve(current_.size());
+  for (const std::uint64_t id : current_) {
+    stream.chunks.push_back(make_chunk(id));
+  }
+  return stream;
+}
+
+void VersionChainGenerator::apply_edits() {
+  double mod = profile_.mod_rate;
+  double ins = profile_.ins_rate;
+  double del = profile_.del_rate;
+  if (profile_.burst_prob > 0 && rng_.chance(profile_.burst_prob)) {
+    mod = std::min(0.9, mod * profile_.burst_multiplier);
+    ins = std::min(0.5, ins * profile_.burst_multiplier);
+    del = std::min(0.5, del * profile_.burst_multiplier);
+  }
+
+  // Runs temporarily removed last version are reinserted at the very end of
+  // this pass (not here): they must not be re-picked by this version's
+  // modify/delete steps, or the absence gap would exceed one version and
+  // violate the macos window-2 contract (see Figure 3d).
+  auto returning = std::move(returning_);
+  returning_.clear();
+
+  const std::size_t n = current_.size() + [&] {
+    std::size_t total = 0;
+    for (const auto& [pos, ids] : returning) total += ids.size();
+    return total;
+  }();
+  auto run_length = [&]() -> std::size_t {
+    // Geometric with the profile's mean, capped to keep edits local.
+    std::size_t len = 1;
+    while (len < 8 * static_cast<std::size_t>(profile_.mean_run_length) &&
+           !rng_.chance(1.0 / profile_.mean_run_length)) {
+      ++len;
+    }
+    return len;
+  };
+
+  // 2. Modify runs: replace chunk ids with fresh content. A slice of the
+  // removed runs only skips this version (macos redundancy window of 2).
+  std::size_t to_modify = static_cast<std::size_t>(mod * n);
+  while (to_modify > 0 && !current_.empty()) {
+    const std::size_t start = rng_.next_below(current_.size());
+    const std::size_t len =
+        std::min({run_length(), to_modify, current_.size() - start});
+    if (rng_.chance(profile_.skip_rate)) {
+      // Temporarily remove; the ids come back next version.
+      std::vector<std::uint64_t> ids(current_.begin() + start,
+                                     current_.begin() + start + len);
+      returning_.emplace_back(start, std::move(ids));
+      current_.erase(current_.begin() + start, current_.begin() + start + len);
+    } else {
+      for (std::size_t i = start; i < start + len; ++i) {
+        current_[i] = fresh_id();
+      }
+    }
+    to_modify -= len;
+  }
+
+  // 3. Delete runs.
+  std::size_t to_delete = static_cast<std::size_t>(del * n);
+  while (to_delete > 0 && current_.size() > 1) {
+    const std::size_t start = rng_.next_below(current_.size());
+    const std::size_t len =
+        std::min({run_length(), to_delete, current_.size() - start});
+    current_.erase(current_.begin() + start, current_.begin() + start + len);
+    to_delete -= len;
+  }
+
+  // 4. Insert runs of new chunks (some duplicating existing content).
+  std::size_t to_insert = static_cast<std::size_t>(ins * n);
+  while (to_insert > 0) {
+    const std::size_t start = rng_.next_below(current_.size() + 1);
+    const std::size_t len = std::min(run_length(), to_insert);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!current_.empty() && rng_.chance(profile_.intra_dup_rate)) {
+        ids.push_back(current_[rng_.next_below(current_.size())]);
+      } else {
+        ids.push_back(fresh_id());
+      }
+    }
+    current_.insert(current_.begin() + static_cast<std::ptrdiff_t>(start),
+                    ids.begin(), ids.end());
+    to_insert -= len;
+  }
+
+  // 5. Reinsert the temporarily removed runs near their original positions.
+  for (auto& [pos, ids] : returning) {
+    const std::size_t at = std::min(pos, current_.size());
+    current_.insert(current_.begin() + static_cast<std::ptrdiff_t>(at),
+                    ids.begin(), ids.end());
+  }
+}
+
+ByteStreamWorkload::ByteStreamWorkload(std::uint64_t seed,
+                                       std::size_t initial_bytes)
+    : rng_(seed) {
+  data_.resize(initial_bytes);
+  for (auto& b : data_) b = static_cast<std::uint8_t>(rng_.next());
+}
+
+std::vector<std::uint8_t> ByteStreamWorkload::next_version(double edit_rate) {
+  const auto snapshot = data_;
+
+  // Mutate for the next call: replace, insert and delete byte runs.
+  std::size_t budget =
+      static_cast<std::size_t>(edit_rate * static_cast<double>(data_.size()));
+  while (budget > 0 && data_.size() > 4096) {
+    const std::size_t len = 64 + rng_.next_below(4096);
+    const std::size_t start = rng_.next_below(data_.size() - 1);
+    const std::size_t run = std::min({len, budget, data_.size() - start});
+    switch (rng_.next_below(3)) {
+      case 0:  // replace
+        for (std::size_t i = start; i < start + run; ++i) {
+          data_[i] = static_cast<std::uint8_t>(rng_.next());
+        }
+        break;
+      case 1:  // delete
+        data_.erase(data_.begin() + static_cast<std::ptrdiff_t>(start),
+                    data_.begin() + static_cast<std::ptrdiff_t>(start + run));
+        break;
+      default: {  // insert
+        std::vector<std::uint8_t> fresh(run);
+        for (auto& b : fresh) b = static_cast<std::uint8_t>(rng_.next());
+        data_.insert(data_.begin() + static_cast<std::ptrdiff_t>(start),
+                     fresh.begin(), fresh.end());
+        break;
+      }
+    }
+    budget -= run;
+  }
+  return snapshot;
+}
+
+}  // namespace hds

@@ -1,0 +1,68 @@
+// VersionChainGenerator: synthesizes a chain of backup versions with the
+// redundancy structure of the paper's datasets.
+//
+// A version is a sequence of chunk identities (64-bit seeds). Fingerprint,
+// size and content of a chunk are pure functions of its seed, so the same
+// logical chunk is bit-identical wherever it appears and restores verify
+// exactly. Version k+1 is derived from version k by clustered edits
+// (modify / insert / delete runs), optional temporary removals that return
+// one version later (macos), and occasional upgrade bursts — see
+// WorkloadProfile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/chunk.h"
+#include "common/rng.h"
+#include "workload/profile.h"
+
+namespace hds {
+
+class VersionChainGenerator {
+ public:
+  explicit VersionChainGenerator(WorkloadProfile profile);
+
+  // Produces the next version of the chain (call 1..profile.versions times;
+  // further calls keep mutating past the profile's nominal length).
+  [[nodiscard]] VersionStream next_version();
+
+  [[nodiscard]] std::uint32_t versions_generated() const noexcept {
+    return generated_;
+  }
+  [[nodiscard]] const WorkloadProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  // Deterministic chunk materialization shared with the pipeline.
+  [[nodiscard]] static ChunkRecord make_chunk(std::uint64_t id) noexcept;
+
+ private:
+  std::uint64_t fresh_id() noexcept { return id_counter_++; }
+  void apply_edits();
+
+  WorkloadProfile profile_;
+  Xoshiro256ss rng_;
+  std::vector<std::uint64_t> current_;  // chunk ids of the latest version
+  // Runs removed in the previous version that must reappear in this one
+  // (position hint, ids).
+  std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>> returning_;
+  std::uint64_t id_counter_;
+  std::uint32_t generated_ = 0;
+};
+
+// Byte-level workload for end-to-end runs: one logical buffer per version,
+// mutated with byte-range edits, to be chunked by a real Chunker.
+class ByteStreamWorkload {
+ public:
+  ByteStreamWorkload(std::uint64_t seed, std::size_t initial_bytes);
+
+  // Returns the current version's bytes, then mutates for the next call.
+  [[nodiscard]] std::vector<std::uint8_t> next_version(double edit_rate);
+
+ private:
+  Xoshiro256ss rng_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hds

@@ -1,0 +1,57 @@
+// Workload profiles calibrated to the paper's four datasets (Table 1).
+//
+// The real datasets (Linux kernel, gcc, fslhomes, macos) are multi-hundred-
+// GB archives; what the paper's metrics actually depend on is the
+// *redundancy structure between consecutive versions*: how much of each
+// version is new, how edits cluster, whether chunks can skip a version and
+// return (macos), and how often heavy upgrades occur. These profiles
+// reproduce that structure at laptop scale — per DESIGN.md §2, every
+// reported metric is a ratio (dedup %, lookups/GB, MB/read), so the shapes
+// survive the downscaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hds {
+
+struct WorkloadProfile {
+  std::string name;
+  std::uint32_t versions = 100;
+  std::size_t chunks_per_version = 2048;
+
+  // Fraction of each version's chunks replaced by new content / newly
+  // inserted / deleted. mod+ins ≈ the per-version "new data" fraction that
+  // sets the dedup ratio: ratio ≈ 1 - (1/V + mod + ins).
+  double mod_rate = 0.05;
+  double ins_rate = 0.01;
+  double del_rate = 0.01;
+
+  // Edits cluster in runs of this mean length (geometric), mimicking how
+  // software updates touch contiguous file regions.
+  double mean_run_length = 8.0;
+
+  // macos-style redundancy window of 2: fraction of removed runs that are
+  // only *temporarily* absent and reappear in the following version.
+  double skip_rate = 0.0;
+
+  // Occasional heavy upgrades (macos point-releases, gcc major versions):
+  // with probability burst_prob a version multiplies its edit rates.
+  double burst_prob = 0.0;
+  double burst_multiplier = 3.0;
+
+  // Fraction of newly created chunks that duplicate another chunk of the
+  // same version (intra-version redundancy: headers, license blobs, ...).
+  double intra_dup_rate = 0.03;
+
+  std::uint64_t seed = 0x48694465;  // deterministic per profile
+
+  // The four paper datasets. Version counts match Table 1; sizes are the
+  // scaled defaults (override `versions`/`chunks_per_version` freely).
+  static WorkloadProfile kernel();
+  static WorkloadProfile gcc();
+  static WorkloadProfile fslhomes();
+  static WorkloadProfile macos();
+};
+
+}  // namespace hds

@@ -1,0 +1,146 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/crc32.h"
+
+namespace hds {
+
+namespace {
+constexpr char kBinaryMagic[4] = {'H', 'D', 'S', 'T'};
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+  std::uint8_t buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  v = std::uint32_t{buf[0]} | (std::uint32_t{buf[1]} << 8) |
+      (std::uint32_t{buf[2]} << 16) | (std::uint32_t{buf[3]} << 24);
+  return true;
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  std::uint8_t buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return true;
+}
+}  // namespace
+
+void write_trace_text(std::ostream& out,
+                      const std::vector<VersionStream>& versions) {
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    out << "V " << (v + 1) << ' ' << versions[v].chunks.size() << '\n';
+    for (const auto& c : versions[v].chunks) {
+      out << c.fp.hex() << ' ' << c.size << ' ' << c.content_seed << '\n';
+    }
+  }
+}
+
+bool read_trace_text(std::istream& in, std::vector<VersionStream>& out) {
+  std::string line;
+  VersionStream* current = nullptr;
+  std::size_t expected = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == 'V') {
+      if (current != nullptr && current->chunks.size() != expected) {
+        return false;
+      }
+      std::istringstream header(line.substr(1));
+      std::size_t version = 0;
+      if (!(header >> version >> expected)) return false;
+      if (version != out.size() + 1) return false;  // must be sequential
+      out.emplace_back();
+      current = &out.back();
+      current->chunks.reserve(expected);
+      continue;
+    }
+    if (current == nullptr) return false;
+    std::istringstream fields(line);
+    std::string hex;
+    ChunkRecord rec;
+    if (!(fields >> hex >> rec.size >> rec.content_seed)) return false;
+    if (!Fingerprint::from_hex(hex, rec.fp)) return false;
+    current->chunks.push_back(std::move(rec));
+  }
+  return current == nullptr || current->chunks.size() == expected;
+}
+
+void write_trace_binary(std::ostream& out,
+                        const std::vector<VersionStream>& versions) {
+  // Body is buffered so the CRC can cover everything after the magic.
+  std::ostringstream body;
+  put_u32(body, static_cast<std::uint32_t>(versions.size()));
+  for (const auto& vs : versions) {
+    put_u32(body, static_cast<std::uint32_t>(vs.chunks.size()));
+    for (const auto& c : vs.chunks) {
+      body.write(reinterpret_cast<const char*>(c.fp.bytes.data()),
+                 kFingerprintSize);
+      put_u32(body, c.size);
+      put_u64(body, c.content_seed);
+    }
+  }
+  const std::string bytes = body.str();
+  out.write(kBinaryMagic, 4);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put_u32(out, crc32(bytes.data(), bytes.size()));
+}
+
+bool read_trace_binary(std::istream& in, std::vector<VersionStream>& out) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    return false;
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (body.size() < 8) return false;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, body.data() + body.size() - 4, 4);
+  // stored little-endian by put_u32
+  std::uint32_t le = 0;
+  for (int i = 3; i >= 0; --i) {
+    le = (le << 8) |
+         static_cast<std::uint8_t>(body[body.size() - 4 + i]);
+  }
+  body.resize(body.size() - 4);
+  if (crc32(body.data(), body.size()) != le) return false;
+
+  std::istringstream stream(body);
+  std::uint32_t version_count = 0;
+  if (!get_u32(stream, version_count)) return false;
+  for (std::uint32_t v = 0; v < version_count; ++v) {
+    std::uint32_t chunk_count = 0;
+    if (!get_u32(stream, chunk_count)) return false;
+    VersionStream vs;
+    vs.chunks.reserve(chunk_count);
+    for (std::uint32_t i = 0; i < chunk_count; ++i) {
+      ChunkRecord rec;
+      if (!stream.read(reinterpret_cast<char*>(rec.fp.bytes.data()),
+                       kFingerprintSize)) {
+        return false;
+      }
+      if (!get_u32(stream, rec.size) || !get_u64(stream, rec.content_seed)) {
+        return false;
+      }
+      vs.chunks.push_back(std::move(rec));
+    }
+    out.push_back(std::move(vs));
+  }
+  return true;
+}
+
+}  // namespace hds

@@ -1,0 +1,146 @@
+// Tests for the active container pool: placement, extraction (cold-chunk
+// eviction), the compaction/merge pass and its remap, and read accounting.
+#include <gtest/gtest.h>
+
+#include "core/active_pool.h"
+
+namespace hds {
+namespace {
+
+ChunkRecord chunk(std::uint64_t id, std::uint32_t size = 4096) {
+  ChunkRecord rec;
+  rec.fp = Fingerprint::from_seed(id);
+  rec.size = size;
+  rec.content_seed = id;
+  return rec;
+}
+
+TEST(ActivePool, AddAndFind) {
+  ActiveContainerPool pool(64 * 1024, true);
+  const auto cid = pool.add(chunk(1));
+  EXPECT_GT(cid, 0);
+  ASSERT_NE(pool.find(Fingerprint::from_seed(1)), nullptr);
+  EXPECT_EQ(*pool.find(Fingerprint::from_seed(1)), cid);
+  EXPECT_EQ(pool.find(Fingerprint::from_seed(99)), nullptr);
+  EXPECT_EQ(pool.chunk_count(), 1u);
+}
+
+TEST(ActivePool, RollsToNewContainerWhenFull) {
+  ActiveContainerPool pool(10 * 1024, true);
+  ContainerId first = 0;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const auto cid = pool.add(chunk(i, 4096));
+    if (i == 0) first = cid;
+  }
+  EXPECT_GT(pool.container_count(), 1u);
+  EXPECT_EQ(*pool.find(Fingerprint::from_seed(0)), first);
+}
+
+TEST(ActivePool, FetchCountsReads) {
+  ActiveContainerPool pool(64 * 1024, true);
+  const auto cid = pool.add(chunk(1));
+  EXPECT_EQ(pool.stats().container_reads, 0u);
+  const auto container = pool.fetch(cid);
+  ASSERT_NE(container, nullptr);
+  EXPECT_EQ(pool.stats().container_reads, 1u);
+  EXPECT_EQ(pool.fetch(9999), nullptr);
+  EXPECT_EQ(pool.stats().container_reads, 1u);  // misses are not reads
+}
+
+TEST(ActivePool, ExtractRemovesAndReturnsBytes) {
+  ActiveContainerPool pool(64 * 1024, true);
+  (void)pool.add(chunk(1, 1000));
+  const auto bytes = pool.extract(Fingerprint::from_seed(1));
+  EXPECT_EQ(bytes.size(), 1000u);
+  // Content must match the deterministic generator.
+  std::vector<std::uint8_t> expect(1000);
+  generate_chunk_content(1, 1000, expect.data());
+  EXPECT_EQ(bytes, expect);
+  EXPECT_EQ(pool.find(Fingerprint::from_seed(1)), nullptr);
+  EXPECT_THROW((void)pool.extract(Fingerprint::from_seed(1)),
+               std::logic_error);
+}
+
+TEST(ActivePool, DuplicateAddThrows) {
+  ActiveContainerPool pool(64 * 1024, true);
+  (void)pool.add(chunk(1));
+  EXPECT_THROW((void)pool.add(chunk(1)), std::logic_error);
+}
+
+TEST(ActivePool, CompactMergesSparseContainers) {
+  ActiveContainerPool pool(16 * 1024, true);
+  // Fill 4 containers, then evict most chunks to make them sparse.
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    (void)pool.add(chunk(i, 4096));
+    fps.push_back(Fingerprint::from_seed(i));
+  }
+  const auto before = pool.container_count();
+  ASSERT_GE(before, 4u);
+  // Keep one chunk per container.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (i % 4 != 0) (void)pool.extract(fps[i]);
+  }
+
+  const auto remap = pool.compact(0.5);
+  EXPECT_LT(pool.container_count(), before);
+  EXPECT_FALSE(remap.empty());
+  // Every surviving chunk must be findable and consistent with the remap.
+  for (std::uint64_t i = 0; i < 16; i += 4) {
+    const auto* cid = pool.find(fps[i]);
+    ASSERT_NE(cid, nullptr);
+    if (const auto it = remap.find(fps[i]); it != remap.end()) {
+      EXPECT_EQ(it->second, *cid);
+    }
+    const auto container = pool.fetch(*cid);
+    ASSERT_NE(container, nullptr);
+    EXPECT_TRUE(container->read(fps[i]).has_value());
+  }
+  EXPECT_EQ(pool.chunk_count(), 4u);
+}
+
+TEST(ActivePool, CompactPreservesContent) {
+  ActiveContainerPool pool(16 * 1024, true);
+  for (std::uint64_t i = 0; i < 12; ++i) (void)pool.add(chunk(i, 4096));
+  for (std::uint64_t i = 0; i < 12; i += 2) {
+    (void)pool.extract(Fingerprint::from_seed(i));
+  }
+  (void)pool.compact(0.9);
+
+  for (std::uint64_t i = 1; i < 12; i += 2) {
+    const auto* cid = pool.find(Fingerprint::from_seed(i));
+    ASSERT_NE(cid, nullptr);
+    const auto container = pool.fetch(*cid);
+    const auto read = container->read(Fingerprint::from_seed(i));
+    ASSERT_TRUE(read.has_value());
+    std::vector<std::uint8_t> expect(4096);
+    generate_chunk_content(i, 4096, expect.data());
+    EXPECT_TRUE(std::equal(read->begin(), read->end(), expect.begin()));
+  }
+}
+
+TEST(ActivePool, CompactNoopWhenDense) {
+  ActiveContainerPool pool(16 * 1024, true);
+  for (std::uint64_t i = 0; i < 8; ++i) (void)pool.add(chunk(i, 4096));
+  // Threshold 0: nothing is sparse.
+  const auto remap = pool.compact(0.0);
+  EXPECT_TRUE(remap.empty());
+}
+
+TEST(ActivePool, UsedAndPhysicalBytes) {
+  ActiveContainerPool pool(16 * 1024, true);
+  (void)pool.add(chunk(1, 4000));
+  (void)pool.add(chunk(2, 4000));
+  EXPECT_EQ(pool.used_bytes(), 8000u);
+  EXPECT_EQ(pool.physical_bytes(), pool.container_count() * 16 * 1024);
+}
+
+TEST(ActivePool, MetaModeWorks) {
+  ActiveContainerPool pool(16 * 1024, false);
+  (void)pool.add(chunk(1, 4000));
+  const auto bytes = pool.extract(Fingerprint::from_seed(1));
+  EXPECT_EQ(bytes.size(), 4000u);  // zero-filled placeholder
+}
+
+}  // namespace
+}  // namespace hds

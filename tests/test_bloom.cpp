@@ -1,0 +1,57 @@
+// Tests for the Bloom filter (DDFS "summary vector"): no false negatives,
+// false-positive rate near the configured target, sane sizing.
+#include <gtest/gtest.h>
+
+#include "index/bloom_filter.h"
+
+namespace hds {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bloom(10000, 0.01);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    bloom.insert(Fingerprint::from_seed(i));
+  }
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(bloom.may_contain(Fingerprint::from_seed(i))) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter bloom(10000, 0.01);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    bloom.insert(Fingerprint::from_seed(i));
+  }
+  std::size_t false_positives = 0;
+  const std::size_t probes = 20000;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    false_positives += bloom.may_contain(Fingerprint::from_seed(1u << 20 | i));
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.03);  // target 1%, generous headroom for variance
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything) {
+  BloomFilter bloom(1000);
+  std::size_t hits = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hits += bloom.may_contain(Fingerprint::from_seed(i));
+  }
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(BloomFilter, MemoryScalesWithExpectedItems) {
+  BloomFilter small(1000, 0.01);
+  BloomFilter large(100000, 0.01);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes() * 50);
+}
+
+TEST(BloomFilter, SurvivesZeroAndTinyExpectedItems) {
+  BloomFilter bloom(0);
+  bloom.insert(Fingerprint::from_seed(1));
+  EXPECT_TRUE(bloom.may_contain(Fingerprint::from_seed(1)));
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,264 @@
+// Tests for src/chunking: every chunker is a valid partition within size
+// bounds, deterministic, and — for the CDC family — resistant to boundary
+// shift. Parameterized across all algorithms.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/chunker.h"
+#include "chunking/rabin.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+
+namespace hds {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(n);
+  Xoshiro256ss rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+class ChunkerTest : public ::testing::TestWithParam<ChunkerKind> {
+ protected:
+  std::unique_ptr<Chunker> chunker_ = make_chunker(GetParam());
+};
+
+TEST_P(ChunkerTest, PartitionCoversInput) {
+  const auto data = random_bytes(1 << 20, 1);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  const auto total =
+      std::accumulate(lengths.begin(), lengths.end(), std::size_t{0});
+  EXPECT_EQ(total, data.size());
+  EXPECT_GT(lengths.size(), 1u);
+}
+
+TEST_P(ChunkerTest, RespectsSizeBounds) {
+  const ChunkerParams params;
+  const auto data = random_bytes(1 << 20, 2);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  for (std::size_t i = 0; i + 1 < lengths.size(); ++i) {
+    EXPECT_GE(lengths[i], params.min_size) << "chunk " << i;
+    EXPECT_LE(lengths[i], params.max_size) << "chunk " << i;
+  }
+  // Only the final chunk may undershoot the minimum.
+  EXPECT_LE(lengths.back(), params.max_size);
+}
+
+TEST_P(ChunkerTest, AverageNearTarget) {
+  const ChunkerParams params;
+  const auto data = random_bytes(4 << 20, 3);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  const double avg = static_cast<double>(data.size()) /
+                     static_cast<double>(lengths.size());
+  // Generous band: algorithms differ in their size distributions, but all
+  // must land in the right ballpark of the configured 4 KiB average.
+  EXPECT_GT(avg, static_cast<double>(params.avg_size) * 0.5);
+  EXPECT_LT(avg, static_cast<double>(params.avg_size) * 2.0);
+}
+
+TEST_P(ChunkerTest, Deterministic) {
+  const auto data = random_bytes(256 * 1024, 4);
+  std::vector<std::size_t> a, b;
+  chunker_->chunk(data, a);
+  chunker_->chunk(data, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ChunkerTest, EmptyInputYieldsNoChunks) {
+  std::vector<std::size_t> lengths;
+  chunker_->chunk({}, lengths);
+  EXPECT_TRUE(lengths.empty());
+}
+
+TEST_P(ChunkerTest, TinyInputIsOneChunk) {
+  const auto data = random_bytes(100, 5);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 100u);
+}
+
+TEST_P(ChunkerTest, SplitViewsMatchLengths) {
+  const auto data = random_bytes(128 * 1024, 6);
+  const auto views = chunker_->split(data);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  ASSERT_EQ(views.size(), lengths.size());
+  const std::uint8_t* expect = data.data();
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i].data(), expect);
+    EXPECT_EQ(views[i].size(), lengths[i]);
+    expect += lengths[i];
+  }
+}
+
+// The defining CDC property: a small insertion near the front only disturbs
+// chunk boundaries locally; most chunks (by fingerprint) are preserved.
+TEST_P(ChunkerTest, BoundaryShiftResistance) {
+  if (GetParam() == ChunkerKind::kFixed) {
+    GTEST_SKIP() << "fixed-size chunking is the negative control";
+  }
+  auto data = random_bytes(1 << 20, 7);
+  const auto before = chunk_bytes(*chunker_, data);
+
+  // Insert 100 bytes at ~5% into the stream.
+  const auto insert = random_bytes(100, 8);
+  data.insert(data.begin() + (1 << 20) / 20, insert.begin(), insert.end());
+  const auto after = chunk_bytes(*chunker_, data);
+
+  std::set<Fingerprint> old_fps;
+  for (const auto& c : before.chunks) old_fps.insert(c.fp);
+  std::size_t preserved = 0;
+  for (const auto& c : after.chunks) preserved += old_fps.contains(c.fp);
+
+  EXPECT_GT(static_cast<double>(preserved) /
+                static_cast<double>(after.chunks.size()),
+            0.8)
+      << "CDC must preserve most chunks across a small insertion";
+}
+
+// Negative control: fixed-size chunking loses almost everything after an
+// unaligned insertion — the failure CDC exists to prevent.
+TEST(FixedChunker, InsertionDestroysAlignment) {
+  auto chunker = make_chunker(ChunkerKind::kFixed);
+  auto data = random_bytes(1 << 20, 9);
+  const auto before = chunk_bytes(*chunker, data);
+  data.insert(data.begin() + 333, std::uint8_t{0xAB});
+  const auto after = chunk_bytes(*chunker, data);
+
+  std::set<Fingerprint> old_fps;
+  for (const auto& c : before.chunks) old_fps.insert(c.fp);
+  std::size_t preserved = 0;
+  for (const auto& c : after.chunks) preserved += old_fps.contains(c.fp);
+  EXPECT_LT(preserved, after.chunks.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChunkers, ChunkerTest,
+                         ::testing::Values(ChunkerKind::kFixed,
+                                           ChunkerKind::kRabin,
+                                           ChunkerKind::kTttd,
+                                           ChunkerKind::kFastCdc,
+                                           ChunkerKind::kAe),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ChunkerKind::kFixed: return "fixed";
+                             case ChunkerKind::kRabin: return "rabin";
+                             case ChunkerKind::kTttd: return "tttd";
+                             case ChunkerKind::kFastCdc: return "fastcdc";
+                             case ChunkerKind::kAe: return "ae";
+                           }
+                           return "unknown";
+                         });
+
+// Adversarial inputs: content-defined chunkers historically misbehave on
+// low-entropy data (zero runs never hit a divisor boundary, periodic data
+// hits it periodically). All algorithms must terminate, partition the
+// input, and respect the max bound regardless.
+TEST_P(ChunkerTest, AllZerosInput) {
+  const std::vector<std::uint8_t> data(1 << 20, 0);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  std::size_t total = 0;
+  for (auto len : lengths) {
+    EXPECT_LE(len, ChunkerParams{}.max_size);
+    total += len;
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+TEST_P(ChunkerTest, SingleByteRepeated) {
+  const std::vector<std::uint8_t> data(256 * 1024, 0xAB);
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  std::size_t total = 0;
+  for (auto len : lengths) total += len;
+  EXPECT_EQ(total, data.size());
+}
+
+TEST_P(ChunkerTest, PeriodicPattern) {
+  std::vector<std::uint8_t> data(512 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 7);
+  }
+  std::vector<std::size_t> lengths;
+  chunker_->chunk(data, lengths);
+  std::size_t total = 0;
+  for (auto len : lengths) {
+    EXPECT_LE(len, ChunkerParams{}.max_size);
+    total += len;
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+TEST_P(ChunkerTest, InputExactlyMinAndMaxSize) {
+  const ChunkerParams params;
+  for (const std::size_t n : {params.min_size, params.max_size}) {
+    const auto data = random_bytes(n, 77);
+    std::vector<std::size_t> lengths;
+    chunker_->chunk(data, lengths);
+    std::size_t total = 0;
+    for (auto len : lengths) total += len;
+    EXPECT_EQ(total, n);
+  }
+}
+
+// --- Rabin rolling hash internals ---
+
+TEST(RabinHash, WindowedHashMatchesRecomputation) {
+  // After sliding past kWindowSize bytes, the fingerprint must depend only
+  // on the window contents: feeding the same window after different
+  // prefixes yields the same value.
+  const auto window = random_bytes(RabinHash::kWindowSize, 10);
+  const auto prefix_a = random_bytes(100, 11);
+  const auto prefix_b = random_bytes(333, 12);
+
+  RabinHash a, b;
+  for (auto byte : prefix_a) a.roll(byte);
+  for (auto byte : prefix_b) b.roll(byte);
+  std::uint64_t va = 0, vb = 0;
+  for (auto byte : window) va = a.roll(byte);
+  for (auto byte : window) vb = b.roll(byte);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(RabinHash, DifferentWindowsDiffer) {
+  RabinHash a, b;
+  std::uint64_t va = 0, vb = 0;
+  for (int i = 0; i < 64; ++i) va = a.roll(static_cast<std::uint8_t>(i));
+  for (int i = 0; i < 64; ++i) vb = b.roll(static_cast<std::uint8_t>(i + 1));
+  EXPECT_NE(va, vb);
+}
+
+TEST(RabinHash, StaysInField) {
+  RabinHash h;
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = h.roll(static_cast<std::uint8_t>(rng.next()));
+    EXPECT_LT(v, 1ULL << RabinHash::kDegree);
+  }
+}
+
+// --- chunk_bytes bridge ---
+
+TEST(ChunkBytes, FingerprintsAreSha1OfContent) {
+  auto chunker = make_chunker(ChunkerKind::kTttd);
+  const auto data = random_bytes(64 * 1024, 14);
+  const auto stream = chunk_bytes(*chunker, data);
+  ASSERT_FALSE(stream.chunks.empty());
+  EXPECT_EQ(stream.logical_bytes(), data.size());
+  for (const auto& c : stream.chunks) {
+    ASSERT_TRUE(c.data);
+    EXPECT_EQ(c.fp, Sha1::digest(c.data->data(), c.data->size()));
+    EXPECT_EQ(c.size, c.data->size());
+  }
+}
+
+}  // namespace
+}  // namespace hds

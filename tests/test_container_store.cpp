@@ -1,0 +1,143 @@
+// Tests for ContainerStore backends: I/O accounting, ID reservation, erase
+// semantics, and the file backend's on-disk round trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "storage/container_store.h"
+
+namespace hds {
+namespace {
+
+Container make_container(std::uint64_t seed, std::size_t chunks = 4) {
+  Container c(0, 64 * 1024);
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    std::vector<std::uint8_t> data(512 + rng.next_below(1024));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    c.add(Fingerprint::from_seed(seed * 100 + i), data);
+  }
+  return c;
+}
+
+template <typename T>
+std::unique_ptr<ContainerStore> make_store();
+
+template <>
+std::unique_ptr<ContainerStore> make_store<MemoryContainerStore>() {
+  return std::make_unique<MemoryContainerStore>();
+}
+
+template <>
+std::unique_ptr<ContainerStore> make_store<FileContainerStore>() {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("hds_store_test_" + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return std::make_unique<FileContainerStore>(dir);
+}
+
+template <typename T>
+class ContainerStoreTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ContainerStore> store_ = make_store<T>();
+};
+
+using Backends = ::testing::Types<MemoryContainerStore, FileContainerStore>;
+TYPED_TEST_SUITE(ContainerStoreTest, Backends);
+
+TYPED_TEST(ContainerStoreTest, WriteAssignsSequentialPositiveIds) {
+  const auto a = this->store_->write(make_container(1));
+  const auto b = this->store_->write(make_container(2));
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(this->store_->container_count(), 2u);
+}
+
+TYPED_TEST(ContainerStoreTest, ReadBackMatchesWritten) {
+  const auto original = make_container(3);
+  const auto fp = Fingerprint::from_seed(300);
+  const auto expected = *original.read(fp);
+  std::vector<std::uint8_t> expect_copy(expected.begin(), expected.end());
+
+  const auto id = this->store_->write(make_container(3));
+  const auto back = this->store_->read(id);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->id(), id);
+  const auto read = back->read(fp);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(std::equal(read->begin(), read->end(), expect_copy.begin()));
+}
+
+TYPED_TEST(ContainerStoreTest, ReadsAndWritesAreCounted) {
+  const auto id = this->store_->write(make_container(4));
+  EXPECT_EQ(this->store_->stats().container_writes, 1u);
+  EXPECT_EQ(this->store_->stats().container_reads, 0u);
+  (void)this->store_->read(id);
+  (void)this->store_->read(id);
+  EXPECT_EQ(this->store_->stats().container_reads, 2u);
+  EXPECT_GT(this->store_->stats().bytes_written, 0u);
+  EXPECT_GT(this->store_->stats().bytes_read, 0u);
+}
+
+TYPED_TEST(ContainerStoreTest, MissingReadReturnsNullAndIsNotCounted) {
+  EXPECT_EQ(this->store_->read(999), nullptr);
+  EXPECT_EQ(this->store_->stats().container_reads, 0u);
+}
+
+TYPED_TEST(ContainerStoreTest, EraseRemovesContainer) {
+  const auto id = this->store_->write(make_container(5));
+  EXPECT_TRUE(this->store_->erase(id));
+  EXPECT_EQ(this->store_->read(id), nullptr);
+  EXPECT_FALSE(this->store_->erase(id));
+  EXPECT_EQ(this->store_->container_count(), 0u);
+}
+
+TYPED_TEST(ContainerStoreTest, ReserveThenPut) {
+  const auto id = this->store_->reserve_id();
+  auto c = make_container(6);
+  c.set_id(id);
+  this->store_->put(std::move(c));
+  // The next write must not reuse the reserved ID.
+  const auto next = this->store_->write(make_container(7));
+  EXPECT_GT(next, id);
+  EXPECT_NE(this->store_->read(id), nullptr);
+}
+
+TYPED_TEST(ContainerStoreTest, IdsListsAllLiveContainers) {
+  const auto a = this->store_->write(make_container(8));
+  const auto b = this->store_->write(make_container(9));
+  this->store_->erase(a);
+  const auto ids = this->store_->ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], b);
+}
+
+TYPED_TEST(ContainerStoreTest, ResetStatsClearsCounters) {
+  const auto id = this->store_->write(make_container(10));
+  (void)this->store_->read(id);
+  this->store_->reset_stats();
+  EXPECT_EQ(this->store_->stats().container_reads, 0u);
+  EXPECT_EQ(this->store_->stats().container_writes, 0u);
+}
+
+TEST(FileContainerStore, PersistsSerializedFormOnDisk) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "hds_store_disk_check";
+  std::filesystem::remove_all(dir);
+  FileContainerStore store(dir);
+  const auto id = store.write(make_container(11));
+  // Exactly one container file, parseable by Container::deserialize.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_GT(entry.file_size(), 0u);
+  }
+  EXPECT_EQ(files, 1u);
+  EXPECT_NE(store.read(id), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hds

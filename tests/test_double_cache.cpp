@@ -1,0 +1,125 @@
+// Tests for the double-hash fingerprint cache: the three dedup cases of
+// Figure 5, rotation semantics, the window-2 (macos) extension, and the
+// memory bound of §4.1.
+#include <gtest/gtest.h>
+
+#include "core/double_cache.h"
+
+namespace hds {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::from_seed(id); }
+
+TEST(DoubleCache, CaseOneUniqueChunk) {
+  DoubleHashFingerprintCache cache;
+  EXPECT_EQ(cache.lookup_and_promote(fp(1)), nullptr);
+  cache.insert_unique(fp(1), 5, 4096);
+  EXPECT_EQ(cache.current().size(), 1u);
+}
+
+TEST(DoubleCache, CaseTwoT1HitMigratesToT2) {
+  DoubleHashFingerprintCache cache;
+  cache.insert_unique(fp(1), 5, 4096);
+  auto cold = cache.rotate();  // fp(1) now in T1
+  EXPECT_TRUE(cold.empty());
+  ASSERT_EQ(cache.previous().size(), 1u);
+
+  const auto* entry = cache.lookup_and_promote(fp(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->active_cid, 5);
+  EXPECT_EQ(entry->size, 4096u);
+  EXPECT_TRUE(cache.previous().empty());   // removed from T1
+  EXPECT_EQ(cache.current().size(), 1u);   // inserted into T2
+}
+
+TEST(DoubleCache, CaseThreeT2HitIsNoop) {
+  DoubleHashFingerprintCache cache;
+  cache.insert_unique(fp(1), 5, 4096);
+  const auto* first = cache.lookup_and_promote(fp(1));
+  const auto* second = cache.lookup_and_promote(fp(1));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.current().size(), 1u);
+}
+
+TEST(DoubleCache, RotateReturnsUnreferencedChunksAsCold) {
+  DoubleHashFingerprintCache cache;
+  cache.insert_unique(fp(1), 1, 100);
+  cache.insert_unique(fp(2), 1, 200);
+  (void)cache.rotate();  // version 1 done; both in T1
+
+  // Version 2 references only fp(1).
+  (void)cache.lookup_and_promote(fp(1));
+  const auto cold = cache.rotate();
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_TRUE(cold.contains(fp(2)));
+  EXPECT_EQ(cold.at(fp(2)).size, 200u);
+  // fp(1) is the new T1.
+  ASSERT_EQ(cache.previous().size(), 1u);
+  EXPECT_TRUE(cache.previous().contains(fp(1)));
+}
+
+TEST(DoubleCache, WindowOneEvictsSkippedChunks) {
+  DoubleHashFingerprintCache cache(1);
+  cache.insert_unique(fp(1), 1, 100);
+  (void)cache.rotate();
+  // Version 2 does not reference fp(1).
+  const auto cold = cache.rotate();
+  EXPECT_TRUE(cold.contains(fp(1)));
+  // Version 3 references it again: too late, it is gone.
+  EXPECT_EQ(cache.lookup_and_promote(fp(1)), nullptr);
+}
+
+TEST(DoubleCache, WindowTwoSurvivesOneSkippedVersion) {
+  DoubleHashFingerprintCache cache(2);
+  cache.insert_unique(fp(1), 3, 100);
+  {
+    const auto cold = cache.rotate();  // end v1
+    EXPECT_TRUE(cold.empty());
+  }
+  {
+    const auto cold = cache.rotate();  // end v2, fp(1) unreferenced → T0
+    EXPECT_TRUE(cold.empty()) << "window 2 gives one version of grace";
+  }
+  // Version 3 references it: promoted from T0, still hot.
+  const auto* entry = cache.lookup_and_promote(fp(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->active_cid, 3);
+}
+
+TEST(DoubleCache, WindowTwoEvictsAfterTwoSkippedVersions) {
+  DoubleHashFingerprintCache cache(2);
+  cache.insert_unique(fp(1), 3, 100);
+  (void)cache.rotate();  // end v1
+  (void)cache.rotate();  // end v2 (skip 1)
+  const auto cold = cache.rotate();  // end v3 (skip 2)
+  EXPECT_TRUE(cold.contains(fp(1)));
+  EXPECT_EQ(cache.lookup_and_promote(fp(1)), nullptr);
+}
+
+TEST(DoubleCache, InvalidWindowThrows) {
+  EXPECT_THROW(DoubleHashFingerprintCache(0), std::invalid_argument);
+  EXPECT_THROW(DoubleHashFingerprintCache(3), std::invalid_argument);
+}
+
+TEST(DoubleCache, MemoryIs28BytesPerEntry) {
+  DoubleHashFingerprintCache cache;
+  for (std::uint64_t i = 0; i < 10; ++i) cache.insert_unique(fp(i), 1, 100);
+  EXPECT_EQ(cache.memory_bytes(), 10u * 28u);
+  (void)cache.rotate();
+  for (std::uint64_t i = 0; i < 5; ++i) (void)cache.lookup_and_promote(fp(i));
+  EXPECT_EQ(cache.memory_bytes(), 10u * 28u);  // 5 in T1, 5 migrated to T2
+}
+
+TEST(DoubleCache, RemapUpdatesAllTables) {
+  DoubleHashFingerprintCache cache;
+  cache.insert_unique(fp(1), 1, 100);
+  (void)cache.rotate();
+  cache.insert_unique(fp(2), 2, 100);
+
+  cache.remap_active({{fp(1), 7}, {fp(2), 9}});
+  EXPECT_EQ(cache.previous().at(fp(1)).active_cid, 7);
+  EXPECT_EQ(cache.current().at(fp(2)).active_cid, 9);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,242 @@
+// Edge cases across the stack: empty versions, identical versions,
+// oversized chunks, single-chunk streams, repeated deletion, and other
+// boundary inputs that production systems meet on day one.
+#include <gtest/gtest.h>
+
+#include "backup/pipeline.h"
+#include "index/full_index.h"
+#include "core/active_pool.h"
+#include "core/hidestore.h"
+#include "restore/faa.h"
+#include "workload/generator.h"
+
+namespace hds {
+namespace {
+
+ChunkRecord chunk(std::uint64_t id, std::uint32_t size = 4096) {
+  ChunkRecord rec;
+  rec.fp = Fingerprint::from_seed(id);
+  rec.size = size;
+  rec.content_seed = id;
+  return rec;
+}
+
+VersionStream stream_of(std::initializer_list<std::uint64_t> ids) {
+  VersionStream vs;
+  for (auto id : ids) vs.chunks.push_back(chunk(id));
+  return vs;
+}
+
+// --- Empty versions ---
+
+TEST(EdgeCases, EmptyVersionBackupAndRestore) {
+  HiDeStore sys;
+  const auto report = sys.backup(VersionStream{});
+  EXPECT_EQ(report.logical_chunks, 0u);
+  EXPECT_EQ(report.stored_bytes, 0u);
+  std::size_t emitted = 0;
+  (void)sys.restore(1, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(EdgeCases, EmptyVersionBetweenRealVersionsEvictsEverything) {
+  HiDeStore sys;
+  (void)sys.backup(stream_of({1, 2, 3}));
+  (void)sys.backup(VersionStream{});  // nothing survives: all chunks cold
+  EXPECT_EQ(sys.active_pool().chunk_count(), 0u);
+  EXPECT_GT(sys.archival_store().container_count(), 0u);
+
+  // v1 must still restore from archival containers.
+  std::size_t emitted = 0;
+  (void)sys.restore(1, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 3u);
+
+  // Chunks returning after the empty version are re-stored (window 1
+  // semantics), and everything stays restorable.
+  (void)sys.backup(stream_of({1, 2, 3}));
+  emitted = 0;
+  (void)sys.restore(3, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 3u);
+}
+
+TEST(EdgeCases, PipelineHandlesEmptyVersion) {
+  auto sys = make_baseline(BaselineKind::kDdfs);
+  (void)sys->backup(VersionStream{});
+  (void)sys->backup(stream_of({1}));
+  std::size_t emitted = 0;
+  (void)sys->restore(2, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 1u);
+}
+
+// --- Identical consecutive versions ---
+
+TEST(EdgeCases, IdenticalVersionsStoreNothingAndEvictNothing) {
+  HiDeStore sys;
+  const auto vs = stream_of({1, 2, 3, 4});
+  (void)sys.backup(vs);
+  for (int i = 0; i < 5; ++i) {
+    const auto report = sys.backup(vs);
+    EXPECT_EQ(report.stored_bytes, 0u);
+  }
+  EXPECT_EQ(sys.archival_store().container_count(), 0u);  // nothing cold
+  EXPECT_EQ(sys.overheads().cold_chunks_moved, 0u);
+  std::size_t emitted = 0;
+  (void)sys.restore(6, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 4u);
+}
+
+// --- Oversized chunks ---
+
+TEST(EdgeCases, ChunkLargerThanContainerThrowsInsteadOfDroppingData) {
+  PipelineConfig config;
+  config.container_size = 4096;
+  auto sys = std::make_unique<DedupPipeline>(
+      "tiny", std::make_unique<FullIndex>(), std::make_unique<NoRewrite>(),
+      std::make_unique<MemoryContainerStore>(), config);
+  VersionStream vs;
+  vs.chunks.push_back(chunk(1, 8192));
+  EXPECT_THROW((void)sys->backup(vs), std::invalid_argument);
+}
+
+TEST(EdgeCases, ActivePoolRejectsOversizedChunk) {
+  ActiveContainerPool pool(4096, true);
+  EXPECT_THROW((void)pool.add(chunk(1, 8192)), std::logic_error);
+}
+
+// --- Single-chunk and tiny streams ---
+
+TEST(EdgeCases, SingleChunkVersionRoundTrips) {
+  HiDeStore sys;
+  (void)sys.backup(stream_of({42}));
+  std::size_t bytes_seen = 0;
+  (void)sys.restore(1,
+                    [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+                      bytes_seen += b.size();
+                    });
+  EXPECT_EQ(bytes_seen, chunk(42).size);
+}
+
+TEST(EdgeCases, FaaAreaSmallerThanOneChunkStillProgresses) {
+  // An assembly area smaller than a single chunk must not deadlock: the
+  // area always admits at least one chunk.
+  auto sys = make_baseline(BaselineKind::kDdfs);
+  (void)sys->backup(stream_of({1, 2, 3, 4, 5}));
+  RestoreConfig config;
+  config.memory_budget = 16;  // absurdly small
+  FaaRestore faa(config);
+  std::size_t emitted = 0;
+  (void)sys->restore_with(1, faa,
+                          [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+                            ++emitted;
+                          });
+  EXPECT_EQ(emitted, 5u);
+}
+
+// --- Deletion boundaries ---
+
+TEST(EdgeCases, DeleteOnEmptySystemIsSafe) {
+  HiDeStore sys;
+  const auto report = sys.delete_versions_up_to(10);
+  EXPECT_EQ(report.versions_deleted, 0u);
+  EXPECT_EQ(report.containers_erased, 0u);
+}
+
+TEST(EdgeCases, DeleteThenBackupThenDeleteAgain) {
+  auto p = WorkloadProfile::kernel();
+  p.versions = 20;
+  p.chunks_per_version = 200;
+  VersionChainGenerator gen(p);
+  HiDeStore sys;
+  std::vector<VersionStream> versions;
+  for (int v = 0; v < 8; ++v) {
+    versions.push_back(gen.next_version());
+    (void)sys.backup(versions.back());
+  }
+  (void)sys.delete_versions_up_to(4);
+  for (int v = 0; v < 4; ++v) {
+    versions.push_back(gen.next_version());
+    (void)sys.backup(versions.back());
+  }
+  (void)sys.delete_versions_up_to(8);
+  // Versions 9..12 survive and restore.
+  for (VersionId v = 9; v <= 12; ++v) {
+    std::size_t emitted = 0;
+    (void)sys.restore(v, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+      ++emitted;
+    });
+    EXPECT_EQ(emitted, versions[v - 1].chunks.size()) << "v" << v;
+  }
+  // Expired versions are gone.
+  std::size_t emitted = 0;
+  (void)sys.restore(3, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+    ++emitted;
+  });
+  EXPECT_EQ(emitted, 0u);
+}
+
+// --- Flatten boundaries ---
+
+TEST(EdgeCases, FlattenOnEmptyAndSingleVersionSystems) {
+  HiDeStore sys;
+  EXPECT_EQ(sys.flatten_recipes(), 0u);
+  (void)sys.backup(stream_of({1, 2}));
+  EXPECT_EQ(sys.flatten_recipes(), 0u);  // single recipe: nothing to chain
+}
+
+TEST(EdgeCases, RepeatedFlattenIsStable) {
+  auto p = WorkloadProfile::kernel();
+  p.versions = 6;
+  p.chunks_per_version = 150;
+  VersionChainGenerator gen(p);
+  HiDeStore sys;
+  std::vector<VersionStream> versions;
+  for (std::uint32_t v = 0; v < p.versions; ++v) {
+    versions.push_back(gen.next_version());
+    (void)sys.backup(versions.back());
+  }
+  (void)sys.flatten_recipes();
+  const auto second = sys.flatten_recipes();
+  (void)second;  // may revisit entries, but must not change results:
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    std::size_t emitted = 0;
+    (void)sys.restore(static_cast<VersionId>(v + 1),
+                      [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+                        ++emitted;
+                      });
+    EXPECT_EQ(emitted, versions[v].chunks.size());
+  }
+}
+
+// --- Chunk-size extremes in one stream ---
+
+TEST(EdgeCases, MixedTinyAndHugeChunksRoundTrip) {
+  HiDeStore sys;
+  VersionStream vs;
+  vs.chunks.push_back(chunk(1, 1));               // 1-byte chunk
+  vs.chunks.push_back(chunk(2, 64 * 1024));       // large CDC outlier
+  vs.chunks.push_back(chunk(3, 1));
+  vs.chunks.push_back(chunk(4, 128 * 1024));
+  (void)sys.backup(vs);
+  std::size_t at = 0;
+  bool ok = true;
+  (void)sys.restore(1, [&](const ChunkLoc& loc,
+                           std::span<const std::uint8_t> bytes) {
+    ok &= loc.fp == vs.chunks[at].fp && bytes.size() == vs.chunks[at].size;
+    ++at;
+  });
+  EXPECT_EQ(at, 4u);
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,191 @@
+// Failure-injection tests: corrupt or missing on-disk data must degrade a
+// restore into counted, bounded damage — never a crash, never silent
+// corruption of unrelated chunks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "backup/pipeline.h"
+#include "index/full_index.h"
+#include "restore/basic_caches.h"
+#include "restore/restorer.h"
+#include "workload/generator.h"
+
+namespace hds {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<VersionStream> generate(std::uint32_t versions,
+                                    std::size_t chunks) {
+  auto p = WorkloadProfile::kernel();
+  p.versions = versions;
+  p.chunks_per_version = chunks;
+  VersionChainGenerator gen(p);
+  std::vector<VersionStream> out;
+  for (std::uint32_t v = 0; v < versions; ++v) {
+    out.push_back(gen.next_version());
+  }
+  return out;
+}
+
+// A fetcher that simulates a bad disk region: containers in `dead` return
+// nullptr.
+class FaultyFetcher final : public ContainerFetcher {
+ public:
+  FaultyFetcher(ContainerStore& store, std::set<ContainerId> dead)
+      : store_(store), dead_(std::move(dead)) {}
+  std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override {
+    if (dead_.contains(loc.cid)) return nullptr;
+    return store_.read(loc.cid);
+  }
+
+ private:
+  ContainerStore& store_;
+  std::set<ContainerId> dead_;
+};
+
+class FaultyRestoreTest
+    : public ::testing::TestWithParam<RestorePolicyKind> {};
+
+TEST_P(FaultyRestoreTest, DeadContainerProducesBoundedCountedDamage) {
+  const auto versions = generate(6, 400);
+  auto sys = make_baseline(BaselineKind::kDdfs);
+  for (const auto& vs : versions) (void)sys->backup(vs);
+
+  // Build the newest version's location stream by hand.
+  const Recipe* recipe = sys->recipes().get(6);
+  ASSERT_NE(recipe, nullptr);
+  std::vector<ChunkLoc> stream;
+  for (const auto& e : recipe->entries()) {
+    stream.push_back({e.fp, e.size, e.cid, false});
+  }
+
+  // Kill the container serving the first chunk.
+  const ContainerId victim = stream.front().cid;
+  std::size_t victim_chunks = 0;
+  for (const auto& loc : stream) victim_chunks += loc.cid == victim;
+  FaultyFetcher fetcher(sys->store(), {victim});
+
+  RestoreConfig config;
+  auto policy = make_restore_policy(GetParam(), config);
+  std::size_t emitted = 0;
+  std::size_t empty = 0;
+  const auto stats =
+      policy->restore(stream, fetcher,
+                      [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+                        ++emitted;
+                        empty += b.empty();
+                      });
+
+  // Every chunk is still delivered (failed ones as empty/zero), the damage
+  // is counted, and it is bounded by the dead container's chunk count.
+  EXPECT_EQ(emitted, stream.size());
+  EXPECT_EQ(stats.restored_chunks, stream.size());
+  EXPECT_GE(stats.failed_chunks, 1u);
+  EXPECT_LE(stats.failed_chunks, victim_chunks);
+  EXPECT_LE(empty, victim_chunks);
+}
+
+TEST_P(FaultyRestoreTest, AllContainersDeadStillTerminates) {
+  const auto versions = generate(2, 200);
+  auto sys = make_baseline(BaselineKind::kDdfs);
+  for (const auto& vs : versions) (void)sys->backup(vs);
+
+  const Recipe* recipe = sys->recipes().get(2);
+  std::vector<ChunkLoc> stream;
+  std::set<ContainerId> all;
+  for (const auto& e : recipe->entries()) {
+    stream.push_back({e.fp, e.size, e.cid, false});
+    all.insert(e.cid);
+  }
+  FaultyFetcher fetcher(sys->store(), all);
+
+  RestoreConfig config;
+  auto policy = make_restore_policy(GetParam(), config);
+  std::size_t emitted = 0;
+  const auto stats = policy->restore(
+      stream, fetcher,
+      [&](const ChunkLoc&, std::span<const std::uint8_t>) { ++emitted; });
+  EXPECT_EQ(emitted, stream.size());
+  EXPECT_EQ(stats.failed_chunks, stream.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, FaultyRestoreTest,
+    ::testing::Values(RestorePolicyKind::kNoCache,
+                      RestorePolicyKind::kContainerLru,
+                      RestorePolicyKind::kChunkLru, RestorePolicyKind::kFaa,
+                      RestorePolicyKind::kAlacc, RestorePolicyKind::kFbw),
+    [](const auto& info) {
+      switch (info.param) {
+        case RestorePolicyKind::kNoCache: return "nocache";
+        case RestorePolicyKind::kContainerLru: return "container_lru";
+        case RestorePolicyKind::kChunkLru: return "chunk_lru";
+        case RestorePolicyKind::kFaa: return "faa";
+        case RestorePolicyKind::kAlacc: return "alacc";
+        case RestorePolicyKind::kFbw: return "fbw";
+      }
+      return "unknown";
+    });
+
+TEST(FileCorruption, CorruptContainerFileFailsClosed) {
+  const auto dir = fs::temp_directory_path() / "hds_corruption_test";
+  fs::remove_all(dir);
+
+  const auto versions = generate(3, 200);
+  DedupPipeline sys("ddfs-file", std::make_unique<FullIndex>(),
+                    std::make_unique<NoRewrite>(),
+                    std::make_unique<FileContainerStore>(dir));
+  for (const auto& vs : versions) (void)sys.backup(vs);
+
+  // Flip a byte in the middle of every container file: the CRC check must
+  // reject them all, turning the restore into counted failures.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::fstream file(entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(entry.file_size() / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(static_cast<std::streamoff>(entry.file_size() / 2));
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+
+  const auto report = sys.restore(
+      3, [](const ChunkLoc&, std::span<const std::uint8_t>) {});
+  EXPECT_EQ(report.stats.failed_chunks, report.stats.restored_chunks);
+  EXPECT_GT(report.stats.failed_chunks, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(FileCorruption, IntactFilesStillRestoreAlongsideCorruptOnes) {
+  const auto dir = fs::temp_directory_path() / "hds_partial_corruption";
+  fs::remove_all(dir);
+
+  const auto versions = generate(3, 300);
+  DedupPipeline sys("ddfs-file", std::make_unique<FullIndex>(),
+                    std::make_unique<NoRewrite>(),
+                    std::make_unique<FileContainerStore>(dir));
+  for (const auto& vs : versions) (void)sys.backup(vs);
+
+  // Corrupt exactly one container file.
+  auto it = fs::directory_iterator(dir);
+  {
+    std::fstream file(it->path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(10);
+    file.write("\xFF", 1);
+  }
+
+  const auto report = sys.restore(
+      3, [](const ChunkLoc&, std::span<const std::uint8_t>) {});
+  EXPECT_GT(report.stats.failed_chunks, 0u);
+  EXPECT_LT(report.stats.failed_chunks, report.stats.restored_chunks);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,122 @@
+// Tests for FullIndex (DDFS): exact dedup decisions, Bloom-filter
+// suppression of unique-chunk lookups, locality-prefetch behavior, and the
+// disk-lookup/memory accounting that drives Figures 9 and 10.
+#include <gtest/gtest.h>
+
+#include "index/full_index.h"
+
+namespace hds {
+namespace {
+
+ChunkRecord chunk(std::uint64_t id) {
+  ChunkRecord rec;
+  rec.fp = Fingerprint::from_seed(id);
+  rec.size = 4096;
+  rec.content_seed = id;
+  return rec;
+}
+
+RecipeEntry entry(std::uint64_t id, ContainerId cid) {
+  return RecipeEntry{Fingerprint::from_seed(id), cid, 4096};
+}
+
+TEST(FullIndex, FreshChunksAreUnique) {
+  FullIndex index;
+  std::vector<ChunkRecord> segment{chunk(1), chunk(2), chunk(3)};
+  const auto decisions = index.dedup_segment(segment);
+  for (const auto& d : decisions) EXPECT_FALSE(d.has_value());
+  EXPECT_EQ(index.stats().unique_chunks, 3u);
+  // Bloom filter answers "new" for free: zero disk lookups.
+  EXPECT_EQ(index.stats().disk_lookups, 0u);
+}
+
+TEST(FullIndex, FindsStoredChunksExactly) {
+  FullIndex index;
+  std::vector<ChunkRecord> first{chunk(1), chunk(2)};
+  (void)index.dedup_segment(first);
+  index.finish_segment(std::vector<RecipeEntry>{entry(1, 10), entry(2, 11)});
+
+  std::vector<ChunkRecord> second{chunk(1), chunk(3), chunk(2)};
+  const auto decisions = index.dedup_segment(second);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_EQ(decisions[0], std::optional<ContainerId>(10));
+  EXPECT_FALSE(decisions[1].has_value());
+  EXPECT_EQ(decisions[2], std::optional<ContainerId>(11));
+}
+
+TEST(FullIndex, LocalityPrefetchTurnsOneLookupIntoManyHits) {
+  FullIndex index;
+  // 64 chunks, all stored in container 5.
+  std::vector<ChunkRecord> segment;
+  std::vector<RecipeEntry> entries;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    segment.push_back(chunk(i));
+    entries.push_back(entry(i, 5));
+  }
+  (void)index.dedup_segment(segment);
+  index.finish_segment(entries);
+
+  // Re-deduplicating the same stream: the first hit probes the table and
+  // prefetches container 5's members; the rest hit the locality cache.
+  const auto before = index.stats().disk_lookups;
+  const auto cache_hits_before = index.stats().cache_hits;
+  (void)index.dedup_segment(segment);
+  EXPECT_EQ(index.stats().disk_lookups - before, 1u);
+  EXPECT_EQ(index.stats().cache_hits - cache_hits_before, 63u);
+}
+
+TEST(FullIndex, CacheEvictionFallsBackToDiskLookup) {
+  FullIndexConfig config;
+  config.cache_containers = 2;
+  FullIndex index(config);
+
+  // Chunks spread over 8 containers.
+  std::vector<ChunkRecord> segment;
+  std::vector<RecipeEntry> entries;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    segment.push_back(chunk(i));
+    entries.push_back(entry(i, static_cast<ContainerId>(i + 1)));
+  }
+  (void)index.dedup_segment(segment);
+  index.finish_segment(entries);
+
+  const auto before = index.stats().disk_lookups;
+  (void)index.dedup_segment(segment);
+  // With room for only 2 containers, most duplicates need a table probe.
+  EXPECT_GE(index.stats().disk_lookups - before, 6u);
+}
+
+TEST(FullIndex, MemoryGrowsWithUniqueChunks) {
+  FullIndex index;
+  const auto empty = index.memory_bytes();
+  std::vector<ChunkRecord> segment;
+  std::vector<RecipeEntry> entries;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    segment.push_back(chunk(i));
+    entries.push_back(entry(i, 1));
+  }
+  (void)index.dedup_segment(segment);
+  index.finish_segment(entries);
+  // 24 bytes per entry on top of the Bloom filter.
+  EXPECT_EQ(index.memory_bytes() - empty, 1000u * 24u);
+  EXPECT_EQ(index.table_entries(), 1000u);
+}
+
+TEST(FullIndex, DuplicateFinishEntriesInsertOnce) {
+  FullIndex index;
+  index.finish_segment(std::vector<RecipeEntry>{entry(1, 3), entry(1, 4)});
+  EXPECT_EQ(index.table_entries(), 1u);
+  std::vector<ChunkRecord> segment{chunk(1)};
+  const auto decisions = index.dedup_segment(segment);
+  EXPECT_EQ(decisions[0], std::optional<ContainerId>(3));  // first wins
+}
+
+TEST(FullIndex, NegativeAndZeroCidsIgnoredInFinish) {
+  FullIndex index;
+  index.finish_segment(
+      std::vector<RecipeEntry>{entry(1, 0), entry(2, -3), entry(3, 9)});
+  EXPECT_EQ(index.table_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace hds

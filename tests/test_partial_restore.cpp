@@ -1,0 +1,183 @@
+// Tests for partial (byte-range) restore and the FileCatalog: exact range
+// extraction with first/last-chunk trimming, clipping, catalog round trips,
+// and single-file restores through both systems.
+#include <gtest/gtest.h>
+
+#include "backup/catalog.h"
+#include "backup/pipeline.h"
+#include "core/hidestore.h"
+#include "chunking/chunk_stream.h"
+#include "chunking/tttd.h"
+#include "restore/faa.h"
+#include "workload/generator.h"
+
+namespace hds {
+namespace {
+
+// Builds a HiDeStore with one byte-level version and returns the raw bytes.
+struct ByteFixture {
+  HiDeStore sys;
+  std::vector<std::uint8_t> bytes;
+
+  explicit ByteFixture(std::size_t n = 512 * 1024) {
+    ByteStreamWorkload workload(3, n);
+    bytes = workload.next_version(0.0);
+    TttdChunker chunker;
+    (void)sys.backup(chunk_bytes(chunker, bytes));
+  }
+
+  std::vector<std::uint8_t> range(std::uint64_t offset,
+                                  std::uint64_t length) {
+    RestoreConfig config;
+    FaaRestore policy(config);
+    std::vector<std::uint8_t> out;
+    (void)sys.restore_range(
+        1, offset, length, policy,
+        [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+          out.insert(out.end(), b.begin(), b.end());
+        });
+    return out;
+  }
+};
+
+TEST(PartialRestore, ExtractsExactRanges) {
+  ByteFixture fx;
+  for (const auto& [offset, length] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 100},          // head
+           {1000, 1},         // single byte mid-chunk
+           {5000, 20000},     // spans several chunks
+           {fx.bytes.size() - 77, 77},  // tail
+           {0, fx.bytes.size()}}) {     // whole stream
+    const auto got = fx.range(offset, length);
+    ASSERT_EQ(got.size(), length) << offset << "+" << length;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           fx.bytes.begin() +
+                               static_cast<std::ptrdiff_t>(offset)))
+        << offset << "+" << length;
+  }
+}
+
+TEST(PartialRestore, ClipsRangesPastTheEnd) {
+  ByteFixture fx;
+  const auto got = fx.range(fx.bytes.size() - 10, 1000);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                         fx.bytes.end() - 10));
+}
+
+TEST(PartialRestore, EmptyAndOutOfBoundsRanges) {
+  ByteFixture fx;
+  EXPECT_TRUE(fx.range(100, 0).empty());
+  EXPECT_TRUE(fx.range(fx.bytes.size() + 5, 10).empty());
+}
+
+TEST(PartialRestore, ReadsOnlyCoveringContainers) {
+  // A small range must touch far fewer containers than a full restore.
+  auto p = WorkloadProfile::kernel();
+  p.versions = 1;
+  p.chunks_per_version = 4000;  // ~16 MB: several containers
+  VersionChainGenerator gen(p);
+  HiDeStore sys;
+  (void)sys.backup(gen.next_version());
+
+  RestoreConfig config;
+  FaaRestore full_policy(config), small_policy(config);
+  const auto sink = [](const ChunkLoc&, std::span<const std::uint8_t>) {};
+  const auto full = sys.restore_with(1, full_policy, sink);
+  const auto small = sys.restore_range(1, 0, 8192, small_policy, sink);
+  EXPECT_LT(small.stats.container_reads, full.stats.container_reads);
+  EXPECT_GE(small.stats.container_reads, 1u);
+}
+
+TEST(PartialRestore, WorksOnThePipelineToo) {
+  auto sys = make_baseline(BaselineKind::kDdfs);
+  ByteStreamWorkload workload(5, 128 * 1024);
+  const auto bytes = workload.next_version(0.0);
+  TttdChunker chunker;
+  (void)sys->backup(chunk_bytes(chunker, bytes));
+
+  RestoreConfig config;
+  FaaRestore policy(config);
+  std::vector<std::uint8_t> out;
+  (void)sys->restore_range(
+      1, 300, 5000, policy,
+      [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+        out.insert(out.end(), b.begin(), b.end());
+      });
+  ASSERT_EQ(out.size(), 5000u);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), bytes.begin() + 300));
+}
+
+// --- FileCatalog ---
+
+TEST(FileCatalog, AddFindErase) {
+  FileCatalog catalog;
+  catalog.add_version(1, {{"a.txt", 0, 100}, {"b.txt", 100, 50}});
+  ASSERT_NE(catalog.files(1), nullptr);
+  EXPECT_EQ(catalog.files(1)->size(), 2u);
+  const auto entry = catalog.find(1, "b.txt");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->offset, 100u);
+  EXPECT_EQ(entry->length, 50u);
+  EXPECT_FALSE(catalog.find(1, "c.txt").has_value());
+  EXPECT_FALSE(catalog.find(2, "a.txt").has_value());
+  EXPECT_TRUE(catalog.erase_version(1));
+  EXPECT_EQ(catalog.files(1), nullptr);
+}
+
+TEST(FileCatalog, SerializeRoundTrip) {
+  FileCatalog catalog;
+  catalog.add_version(1, {{"dir/file one.bin", 0, 12345}});
+  catalog.add_version(7, {{"x", 5, 9}, {"y", 14, 0}});
+  const auto bytes = catalog.serialize();
+  const auto back = FileCatalog::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version_count(), 2u);
+  EXPECT_EQ(back->find(1, "dir/file one.bin")->length, 12345u);
+  EXPECT_EQ(back->find(7, "y")->offset, 14u);
+}
+
+TEST(FileCatalog, DeserializeRejectsCorruption) {
+  FileCatalog catalog;
+  catalog.add_version(1, {{"a", 0, 1}});
+  auto bytes = catalog.serialize();
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(FileCatalog::deserialize(bytes).has_value());
+  EXPECT_FALSE(FileCatalog::deserialize({}).has_value());
+}
+
+TEST(FileCatalog, SingleFileRestoreEndToEnd) {
+  // Serialize two "files" into one stream, back it up, restore one file by
+  // its catalog range.
+  std::vector<std::uint8_t> file_a(30000), file_b(45000);
+  Xoshiro256ss rng(11);
+  for (auto& b : file_a) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : file_b) b = static_cast<std::uint8_t>(rng.next());
+
+  std::vector<std::uint8_t> stream = file_a;
+  stream.insert(stream.end(), file_b.begin(), file_b.end());
+
+  FileCatalog catalog;
+  catalog.add_version(1, {{"a.bin", 0, file_a.size()},
+                          {"b.bin", file_a.size(), file_b.size()}});
+
+  HiDeStore sys;
+  TttdChunker chunker;
+  (void)sys.backup(chunk_bytes(chunker, stream));
+
+  const auto entry = catalog.find(1, "b.bin");
+  ASSERT_TRUE(entry.has_value());
+  RestoreConfig config;
+  FaaRestore policy(config);
+  std::vector<std::uint8_t> restored;
+  (void)sys.restore_range(
+      1, entry->offset, entry->length, policy,
+      [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+        restored.insert(restored.end(), b.begin(), b.end());
+      });
+  EXPECT_EQ(restored, file_b);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,100 @@
+// Tests for Recipe and RecipeStore: entry accounting, the 28-byte on-disk
+// footprint (paper §2.1), serialization round trips, corruption detection.
+#include <gtest/gtest.h>
+
+#include "storage/recipe.h"
+
+namespace hds {
+namespace {
+
+Recipe make_recipe(VersionId version, std::size_t entries) {
+  Recipe r(version);
+  for (std::size_t i = 0; i < entries; ++i) {
+    r.add(Fingerprint::from_seed(version * 1000 + i),
+          static_cast<ContainerId>(i % 7) - 2,  // mixes the 3 CID kinds
+          1024 + static_cast<std::uint32_t>(i));
+  }
+  return r;
+}
+
+TEST(Recipe, AccountingMatchesEntries) {
+  const auto r = make_recipe(1, 10);
+  EXPECT_EQ(r.version(), 1u);
+  EXPECT_EQ(r.chunk_count(), 10u);
+  EXPECT_EQ(r.byte_size(), 10 * kRecipeEntrySize);
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < 10; ++i) expect += 1024 + i;
+  EXPECT_EQ(r.logical_bytes(), expect);
+}
+
+TEST(Recipe, SerializeRoundTripPreservesAllCidKinds) {
+  const auto r = make_recipe(7, 100);
+  const auto blob = r.serialize();
+  const auto back = Recipe::deserialize(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version(), 7u);
+  ASSERT_EQ(back->chunk_count(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(back->entries()[i].fp, r.entries()[i].fp);
+    EXPECT_EQ(back->entries()[i].cid, r.entries()[i].cid);  // incl. negative
+    EXPECT_EQ(back->entries()[i].size, r.entries()[i].size);
+  }
+}
+
+TEST(Recipe, SerializeEmpty) {
+  const Recipe r(3);
+  const auto back = Recipe::deserialize(r.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version(), 3u);
+  EXPECT_EQ(back->chunk_count(), 0u);
+}
+
+TEST(Recipe, DeserializeDetectsCorruption) {
+  const auto blob = make_recipe(2, 10).serialize();
+  auto corrupted = blob;
+  corrupted[20] ^= 0x80;
+  EXPECT_FALSE(Recipe::deserialize(corrupted).has_value());
+  auto truncated = blob;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_FALSE(Recipe::deserialize(truncated).has_value());
+  EXPECT_FALSE(Recipe::deserialize({}).has_value());
+}
+
+TEST(RecipeStore, PutGetErase) {
+  RecipeStore store;
+  store.put(make_recipe(1, 5));
+  store.put(make_recipe(2, 5));
+  ASSERT_NE(store.get(1), nullptr);
+  EXPECT_EQ(store.get(1)->version(), 1u);
+  EXPECT_EQ(store.get(3), nullptr);
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_EQ(store.get(1), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecipeStore, PutOverwritesSameVersion) {
+  RecipeStore store;
+  store.put(make_recipe(1, 5));
+  store.put(make_recipe(1, 9));
+  EXPECT_EQ(store.get(1)->chunk_count(), 9u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecipeStore, VersionsAreSorted) {
+  RecipeStore store;
+  store.put(make_recipe(5, 1));
+  store.put(make_recipe(1, 1));
+  store.put(make_recipe(3, 1));
+  EXPECT_EQ(store.versions(), (std::vector<VersionId>{1, 3, 5}));
+}
+
+TEST(RecipeStore, MutableAccessUpdatesInPlace) {
+  RecipeStore store;
+  store.put(make_recipe(1, 3));
+  store.get(1)->entries()[0].cid = 42;
+  EXPECT_EQ(store.get(1)->entries()[0].cid, 42);
+}
+
+}  // namespace
+}  // namespace hds

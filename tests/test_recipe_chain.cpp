@@ -1,0 +1,141 @@
+// Tests for recipe-chain maintenance: the previous-recipe update after a
+// version (Figure 7), chain resolution across the three CID kinds, and
+// Algorithm 1's flattening (including window-2 skip chains).
+#include <gtest/gtest.h>
+
+#include "core/recipe_chain.h"
+
+namespace hds {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::from_seed(id); }
+
+Recipe recipe_with(VersionId v,
+                   std::vector<std::pair<std::uint64_t, ContainerId>> items) {
+  Recipe r(v);
+  for (const auto& [id, cid] : items) r.add(fp(id), cid, 4096);
+  return r;
+}
+
+TEST(UpdatePreviousRecipe, ColdChunksGetArchivalHomes) {
+  auto prev = recipe_with(3, {{1, 0}, {2, 0}, {3, 0}});
+  const ColdMap cold{{fp(1), 17}, {fp(3), 18}};
+  const auto updated = update_previous_recipe(prev, cold, 4, nullptr);
+  EXPECT_EQ(updated, 3u);
+  EXPECT_EQ(prev.entries()[0].cid, 17);
+  EXPECT_EQ(prev.entries()[1].cid, -4);  // hot: chained to version 4
+  EXPECT_EQ(prev.entries()[2].cid, 18);
+}
+
+TEST(UpdatePreviousRecipe, AlreadyFinalizedEntriesUntouched) {
+  auto prev = recipe_with(3, {{1, 9}, {2, -2}, {3, 0}});
+  const ColdMap cold{{fp(1), 99}, {fp(2), 99}, {fp(3), 20}};
+  const auto updated = update_previous_recipe(prev, cold, 4, nullptr);
+  EXPECT_EQ(updated, 1u);
+  EXPECT_EQ(prev.entries()[0].cid, 9);
+  EXPECT_EQ(prev.entries()[1].cid, -2);
+  EXPECT_EQ(prev.entries()[2].cid, 20);
+}
+
+TEST(UpdatePreviousRecipe, WindowTwoChainsThroughIntermediate) {
+  auto prev2 = recipe_with(2, {{1, 0}, {2, 0}, {3, 0}});
+  const ColdMap cold{{fp(1), 30}};
+  // fp(2) lives in the intermediate version (v3); fp(3) skipped it.
+  const std::unordered_set<Fingerprint> between{fp(2)};
+  (void)update_previous_recipe(prev2, cold, 4, &between);
+  EXPECT_EQ(prev2.entries()[0].cid, 30);
+  EXPECT_EQ(prev2.entries()[1].cid, -3);
+  EXPECT_EQ(prev2.entries()[2].cid, -4);
+}
+
+TEST(ResolveChain, WalksToArchivalHome) {
+  RecipeStore store;
+  store.put(recipe_with(1, {{7, -2}}));
+  store.put(recipe_with(2, {{7, -3}}));
+  store.put(recipe_with(3, {{7, 42}}));
+  std::size_t hops = 0;
+  EXPECT_EQ(resolve_chain(store, fp(7), -2, &hops), 42);
+  EXPECT_EQ(hops, 2u);
+}
+
+TEST(ResolveChain, PositiveAndZeroAreTerminal) {
+  RecipeStore store;
+  EXPECT_EQ(resolve_chain(store, fp(1), 5, nullptr), 5);
+  EXPECT_EQ(resolve_chain(store, fp(1), 0, nullptr), 0);
+}
+
+TEST(ResolveChain, MissingRecipeThrows) {
+  RecipeStore store;
+  EXPECT_THROW((void)resolve_chain(store, fp(1), -9, nullptr),
+               std::runtime_error);
+}
+
+TEST(ResolveChain, BrokenChainThrows) {
+  RecipeStore store;
+  store.put(recipe_with(2, {{8, 1}}));  // recipe exists but lacks fp(7)
+  EXPECT_THROW((void)resolve_chain(store, fp(7), -2, nullptr),
+               std::runtime_error);
+}
+
+TEST(FlattenRecipes, CollapsesChainsToOneHop) {
+  RecipeStore store;
+  store.put(recipe_with(1, {{7, -2}, {8, -2}}));
+  store.put(recipe_with(2, {{7, -3}, {8, 11}}));
+  store.put(recipe_with(3, {{7, 50}, {9, 0}}));
+
+  const auto updated = flatten_recipes(store, 1);
+  EXPECT_GE(updated, 3u);
+  EXPECT_EQ(store.get(1)->entries()[0].cid, 50);  // 7: resolved transitively
+  EXPECT_EQ(store.get(1)->entries()[1].cid, 11);  // 8: resolved via v2
+  EXPECT_EQ(store.get(2)->entries()[0].cid, 50);
+  EXPECT_EQ(store.get(3)->entries()[1].cid, 0);   // newest keeps active refs
+}
+
+TEST(FlattenRecipes, StillHotChunksPointAtNewest) {
+  RecipeStore store;
+  store.put(recipe_with(1, {{7, -2}}));
+  store.put(recipe_with(2, {{7, -3}}));
+  store.put(recipe_with(3, {{7, 0}}));  // still in active containers
+
+  (void)flatten_recipes(store, 1);
+  EXPECT_EQ(store.get(1)->entries()[0].cid, -3);
+  EXPECT_EQ(store.get(2)->entries()[0].cid, -3);
+}
+
+TEST(FlattenRecipes, WindowTwoResolvesSkipChains) {
+  RecipeStore store;
+  // fp(7) skips version 2 entirely: R1 chains directly to R3.
+  store.put(recipe_with(1, {{7, -3}}));
+  store.put(recipe_with(2, {{8, 5}}));
+  store.put(recipe_with(3, {{7, -4}}));
+  store.put(recipe_with(4, {{7, 77}}));
+
+  (void)flatten_recipes(store, 2);
+  EXPECT_EQ(store.get(1)->entries()[0].cid, 77);
+  EXPECT_EQ(store.get(3)->entries()[0].cid, 77);
+}
+
+TEST(FlattenRecipes, SingleRecipeIsNoop) {
+  RecipeStore store;
+  store.put(recipe_with(1, {{7, 0}}));
+  EXPECT_EQ(flatten_recipes(store, 1), 0u);
+  EXPECT_EQ(store.get(1)->entries()[0].cid, 0);
+}
+
+TEST(FlattenRecipes, IdempotentSecondPass) {
+  RecipeStore store;
+  store.put(recipe_with(1, {{7, -2}, {8, -2}}));
+  store.put(recipe_with(2, {{7, 13}, {8, -3}}));
+  store.put(recipe_with(3, {{8, 21}}));
+  (void)flatten_recipes(store, 1);
+  const auto cid_7 = store.get(1)->entries()[0].cid;
+  const auto cid_8 = store.get(1)->entries()[1].cid;
+  (void)flatten_recipes(store, 1);
+  EXPECT_EQ(store.get(1)->entries()[0].cid, cid_7);
+  EXPECT_EQ(store.get(1)->entries()[1].cid, cid_8);
+  EXPECT_EQ(cid_7, 13);
+  EXPECT_EQ(cid_8, 21);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,245 @@
+// Tests for the rewriting filters: each scheme's defining invariant —
+// capping bounds distinct containers, CBR respects its budget and utility
+// threshold, CFL only fires below its fragmentation threshold, dynamic
+// capping (FBW) spares the look-back window.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rewrite/capping.h"
+#include "rewrite/cbr.h"
+#include "rewrite/cfl.h"
+#include "rewrite/dynamic_capping.h"
+#include "rewrite/rewrite_filter.h"
+
+namespace hds {
+namespace {
+
+ChunkRecord chunk(std::uint64_t id, std::uint32_t size = 4096) {
+  ChunkRecord rec;
+  rec.fp = Fingerprint::from_seed(id);
+  rec.size = size;
+  rec.content_seed = id;
+  return rec;
+}
+
+// A fragmented segment: `n` duplicate chunks spread round-robin over
+// `containers` distinct old containers, plus `uniques` new chunks.
+struct Segment {
+  std::vector<ChunkRecord> chunks;
+  std::vector<std::optional<ContainerId>> locations;
+};
+
+Segment fragmented_segment(std::size_t n, int containers,
+                           std::size_t uniques = 0) {
+  Segment seg;
+  for (std::size_t i = 0; i < n; ++i) {
+    seg.chunks.push_back(chunk(i));
+    seg.locations.emplace_back(static_cast<ContainerId>(i % containers) + 1);
+  }
+  for (std::size_t i = 0; i < uniques; ++i) {
+    seg.chunks.push_back(chunk(100000 + i));
+    seg.locations.emplace_back(std::nullopt);
+  }
+  return seg;
+}
+
+TEST(NoRewrite, NeverRewrites) {
+  NoRewrite filter;
+  auto seg = fragmented_segment(100, 50);
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (bool d : plan) EXPECT_FALSE(d);
+  EXPECT_EQ(filter.stats().rewritten_chunks, 0u);
+}
+
+TEST(Capping, BoundsDistinctOldContainers) {
+  RewriteConfig config;
+  config.cap = 4;
+  CappingRewrite filter(config);
+  auto seg = fragmented_segment(200, 20);
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+
+  std::set<ContainerId> kept;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (!plan[i] && seg.locations[i]) kept.insert(*seg.locations[i]);
+  }
+  EXPECT_LE(kept.size(), 4u);
+  EXPECT_GT(filter.stats().rewritten_chunks, 0u);
+}
+
+TEST(Capping, NoRewriteWhenUnderCap) {
+  RewriteConfig config;
+  config.cap = 30;
+  CappingRewrite filter(config);
+  auto seg = fragmented_segment(200, 20);
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (bool d : plan) EXPECT_FALSE(d);
+}
+
+TEST(Capping, KeepsHighestContributors) {
+  RewriteConfig config;
+  config.cap = 1;
+  CappingRewrite filter(config);
+  // Container 1 supplies 10 chunks, container 2 supplies 2.
+  Segment seg;
+  for (int i = 0; i < 10; ++i) {
+    seg.chunks.push_back(chunk(i));
+    seg.locations.emplace_back(1);
+  }
+  for (int i = 0; i < 2; ++i) {
+    seg.chunks.push_back(chunk(100 + i));
+    seg.locations.emplace_back(2);
+  }
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(plan[i]);
+  for (int i = 10; i < 12; ++i) EXPECT_TRUE(plan[i]);
+}
+
+TEST(Capping, UniqueChunksNeverMarked) {
+  RewriteConfig config;
+  config.cap = 1;
+  CappingRewrite filter(config);
+  auto seg = fragmented_segment(50, 10, 25);
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (std::size_t i = 50; i < 75; ++i) EXPECT_FALSE(plan[i]);
+}
+
+TEST(Cbr, RespectsRewriteBudget) {
+  RewriteConfig config;
+  config.cbr_budget_ratio = 0.05;
+  config.cbr_utility_threshold = 0.5;
+  config.container_size = 4 * 1024 * 1024;
+  CbrRewrite filter(config);
+  filter.begin_version(1);
+
+  auto seg = fragmented_segment(1000, 500);  // terrible utility everywhere
+  (void)filter.plan(seg.chunks, seg.locations);
+  const std::uint64_t logical = 1000ull * 4096;
+  EXPECT_LE(filter.stats().rewritten_bytes,
+            static_cast<std::uint64_t>(0.05 * logical) + 4096);
+  EXPECT_GT(filter.stats().rewritten_chunks, 0u);
+}
+
+TEST(Cbr, HighStreamUtilitySuppressesRewrites) {
+  RewriteConfig config;
+  config.container_size = 64 * 1024;  // small container, fully useful
+  CbrRewrite filter(config);
+  filter.begin_version(1);
+
+  // One container supplying 16 × 4 KiB = its entire capacity: utility 0.
+  Segment seg;
+  for (int i = 0; i < 16; ++i) {
+    seg.chunks.push_back(chunk(i));
+    seg.locations.emplace_back(1);
+  }
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (bool d : plan) EXPECT_FALSE(d);
+}
+
+TEST(Cfl, NoRewriteWhileUnfragmented) {
+  RewriteConfig config;
+  config.container_size = 64 * 1024;
+  config.cfl_threshold = 0.6;
+  CflRewrite filter(config);
+  filter.begin_version(1);
+
+  // Whole stream served by one container: CFL stays high.
+  Segment seg;
+  for (int i = 0; i < 16; ++i) {
+    seg.chunks.push_back(chunk(i));
+    seg.locations.emplace_back(1);
+  }
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (bool d : plan) EXPECT_FALSE(d);
+  EXPECT_GT(filter.current_cfl(), 0.6);
+}
+
+TEST(Cfl, SelectiveRewriteWhenFragmented) {
+  RewriteConfig config;
+  config.container_size = 64 * 1024;
+  config.cfl_threshold = 0.6;
+  config.cfl_min_contribution = 0.5;
+  CflRewrite filter(config);
+  filter.begin_version(1);
+
+  // 64 chunks over 64 containers: CFL collapses, every container
+  // contributes a sliver → selective duplication fires.
+  auto seg = fragmented_segment(64, 64);
+  (void)filter.plan(seg.chunks, seg.locations);
+  EXPECT_LT(filter.current_cfl(), 0.6);
+  EXPECT_GT(filter.stats().rewritten_chunks, 0u);
+}
+
+TEST(DynamicCapping, SparesLookBackWindow) {
+  RewriteConfig config;
+  config.lookback_containers = 8;
+  config.fbw_budget_ratio = 1.0;  // unlimited budget: only the window saves
+  DynamicCappingRewrite filter(config);
+
+  // Teach the window that containers 1..4 were written recently.
+  std::vector<RecipeEntry> recent;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    recent.push_back({Fingerprint::from_seed(900 + i),
+                      static_cast<ContainerId>(i + 1), 4096});
+  }
+  filter.finish_segment(recent);
+
+  Segment seg;
+  for (int i = 0; i < 8; ++i) {
+    seg.chunks.push_back(chunk(i));
+    // Half in-window (1..4), half far away (100..103).
+    seg.locations.emplace_back(i < 4 ? i + 1 : 100 + i);
+  }
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(plan[i]) << i;
+  for (int i = 4; i < 8; ++i) EXPECT_TRUE(plan[i]) << i;
+}
+
+TEST(DynamicCapping, BudgetBoundsRewrites) {
+  RewriteConfig config;
+  config.lookback_containers = 1;
+  config.fbw_budget_ratio = 0.02;
+  DynamicCappingRewrite filter(config);
+
+  auto seg = fragmented_segment(1000, 200);
+  (void)filter.plan(seg.chunks, seg.locations);
+  const std::uint64_t logical = 1000ull * 4096;
+  EXPECT_LE(filter.stats().rewritten_bytes,
+            static_cast<std::uint64_t>(0.02 * logical) + 4096);
+}
+
+TEST(DynamicCapping, WindowEvictsOldContainers) {
+  RewriteConfig config;
+  config.lookback_containers = 2;
+  config.fbw_budget_ratio = 1.0;
+  DynamicCappingRewrite filter(config);
+
+  // Push containers 1, 2, 3 through the window of size 2: 1 must fall out.
+  for (ContainerId cid : {1, 2, 3}) {
+    std::vector<RecipeEntry> entries{
+        {Fingerprint::from_seed(static_cast<std::uint64_t>(cid) + 500), cid,
+         4096}};
+    filter.finish_segment(entries);
+  }
+  Segment seg;
+  seg.chunks.push_back(chunk(1));
+  seg.locations.emplace_back(1);  // evicted from the window
+  seg.chunks.push_back(chunk(2));
+  seg.locations.emplace_back(3);  // still in the window
+  const auto plan = filter.plan(seg.chunks, seg.locations);
+  EXPECT_TRUE(plan[0]);
+  EXPECT_FALSE(plan[1]);
+}
+
+TEST(RewriteFactory, CreatesEveryKind) {
+  for (auto kind : {RewriteKind::kNone, RewriteKind::kCapping,
+                    RewriteKind::kCbr, RewriteKind::kCfl,
+                    RewriteKind::kDynamicCapping}) {
+    auto filter = make_rewrite_filter(kind);
+    ASSERT_NE(filter, nullptr);
+    EXPECT_FALSE(filter->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,137 @@
+// Tests for trace I/O: round trips in both formats, malformed-input
+// rejection, and replay equivalence (a replayed trace deduplicates exactly
+// like the live stream).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backup/pipeline.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace hds {
+namespace {
+
+std::vector<VersionStream> sample_versions(std::uint32_t n = 4) {
+  auto p = WorkloadProfile::kernel();
+  p.versions = n;
+  p.chunks_per_version = 150;
+  VersionChainGenerator gen(p);
+  std::vector<VersionStream> out;
+  for (std::uint32_t v = 0; v < n; ++v) out.push_back(gen.next_version());
+  return out;
+}
+
+void expect_equal(const std::vector<VersionStream>& a,
+                  const std::vector<VersionStream>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a[v].chunks.size(), b[v].chunks.size()) << "version " << v;
+    for (std::size_t i = 0; i < a[v].chunks.size(); ++i) {
+      EXPECT_EQ(a[v].chunks[i].fp, b[v].chunks[i].fp);
+      EXPECT_EQ(a[v].chunks[i].size, b[v].chunks[i].size);
+      EXPECT_EQ(a[v].chunks[i].content_seed, b[v].chunks[i].content_seed);
+    }
+  }
+}
+
+TEST(TraceText, RoundTrip) {
+  const auto versions = sample_versions();
+  std::stringstream buffer;
+  write_trace_text(buffer, versions);
+  std::vector<VersionStream> back;
+  ASSERT_TRUE(read_trace_text(buffer, back));
+  expect_equal(versions, back);
+}
+
+TEST(TraceText, EmptyTrace) {
+  std::stringstream buffer;
+  write_trace_text(buffer, {});
+  std::vector<VersionStream> back;
+  EXPECT_TRUE(read_trace_text(buffer, back));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceText, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\nV 1 1\n"
+         << Fingerprint::from_seed(7).hex() << " 4096 7\n";
+  std::vector<VersionStream> back;
+  ASSERT_TRUE(read_trace_text(buffer, back));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].chunks[0].content_seed, 7u);
+}
+
+TEST(TraceText, RejectsMalformedInput) {
+  const auto cases = {
+      std::string("garbage\n"),                       // no version header
+      std::string("V 2 1\naaaa 1 1\n"),               // non-sequential
+      std::string("V 1 2\n") + Fingerprint::from_seed(1).hex() +
+          " 4096 1\n",                                // count mismatch
+      std::string("V 1 1\nnothex 4096 1\n"),          // bad fingerprint
+  };
+  for (const auto& text : cases) {
+    std::stringstream buffer(text);
+    std::vector<VersionStream> back;
+    EXPECT_FALSE(read_trace_text(buffer, back)) << text;
+  }
+}
+
+TEST(TraceBinary, RoundTrip) {
+  const auto versions = sample_versions();
+  std::stringstream buffer;
+  write_trace_binary(buffer, versions);
+  std::vector<VersionStream> back;
+  ASSERT_TRUE(read_trace_binary(buffer, back));
+  expect_equal(versions, back);
+}
+
+TEST(TraceBinary, DetectsCorruption) {
+  const auto versions = sample_versions(2);
+  std::stringstream buffer;
+  write_trace_binary(buffer, versions);
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] ^= 0x01;
+  std::stringstream corrupted(bytes);
+  std::vector<VersionStream> back;
+  EXPECT_FALSE(read_trace_binary(corrupted, back));
+}
+
+TEST(TraceBinary, RejectsWrongMagicAndTruncation) {
+  {
+    std::stringstream buffer("NOPE....");
+    std::vector<VersionStream> back;
+    EXPECT_FALSE(read_trace_binary(buffer, back));
+  }
+  {
+    const auto versions = sample_versions(1);
+    std::stringstream buffer;
+    write_trace_binary(buffer, versions);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    std::vector<VersionStream> back;
+    EXPECT_FALSE(read_trace_binary(truncated, back));
+  }
+}
+
+TEST(TraceReplay, DeduplicatesIdenticallyToLiveStream) {
+  const auto versions = sample_versions(6);
+  std::stringstream buffer;
+  write_trace_binary(buffer, versions);
+  std::vector<VersionStream> replayed;
+  ASSERT_TRUE(read_trace_binary(buffer, replayed));
+
+  auto live = make_baseline(BaselineKind::kDdfs);
+  auto replay = make_baseline(BaselineKind::kDdfs);
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    const auto a = live->backup(versions[v]);
+    const auto b = replay->backup(replayed[v]);
+    EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+    EXPECT_EQ(a.stored_chunks, b.stored_chunks);
+  }
+  EXPECT_DOUBLE_EQ(live->dedup_ratio(), replay->dedup_ratio());
+}
+
+}  // namespace
+}  // namespace hds

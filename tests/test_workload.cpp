@@ -1,0 +1,191 @@
+// Tests for the synthetic workload generator: determinism, chunk-identity
+// consistency, the edit-rate calibration behind Table 1, the version-tag
+// decay shape behind Figure 3, and the byte-level workload.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/tttd.h"
+#include "workload/generator.h"
+
+namespace hds {
+namespace {
+
+std::vector<VersionStream> generate(const WorkloadProfile& p,
+                                    std::uint32_t versions) {
+  VersionChainGenerator gen(p);
+  std::vector<VersionStream> out;
+  for (std::uint32_t v = 0; v < versions; ++v) {
+    out.push_back(gen.next_version());
+  }
+  return out;
+}
+
+TEST(Generator, DeterministicAcrossInstances) {
+  const auto p = WorkloadProfile::kernel();
+  auto a = generate(p, 5);
+  auto b = generate(p, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a[v].chunks.size(), b[v].chunks.size());
+    for (std::size_t i = 0; i < a[v].chunks.size(); ++i) {
+      EXPECT_EQ(a[v].chunks[i].fp, b[v].chunks[i].fp);
+      EXPECT_EQ(a[v].chunks[i].size, b[v].chunks[i].size);
+    }
+  }
+}
+
+TEST(Generator, ChunkIdentityIsConsistent) {
+  // Same fingerprint ⇒ same size and same content, everywhere.
+  const auto versions = generate(WorkloadProfile::gcc(), 8);
+  std::unordered_map<Fingerprint, std::uint32_t> sizes;
+  for (const auto& vs : versions) {
+    for (const auto& c : vs.chunks) {
+      const auto [it, fresh] = sizes.emplace(c.fp, c.size);
+      if (!fresh) {
+        EXPECT_EQ(it->second, c.size);
+      }
+    }
+  }
+}
+
+TEST(Generator, SizesWithinBounds) {
+  const auto versions = generate(WorkloadProfile::kernel(), 3);
+  double total = 0;
+  std::size_t count = 0;
+  for (const auto& vs : versions) {
+    for (const auto& c : vs.chunks) {
+      EXPECT_GE(c.size, 1024u);
+      EXPECT_LE(c.size, 7 * 1024u);
+      total += c.size;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / static_cast<double>(count), 4096.0, 300.0);
+}
+
+TEST(Generator, InterVersionRedundancyMatchesRates) {
+  auto p = WorkloadProfile::kernel();
+  p.chunks_per_version = 4000;
+  const auto versions = generate(p, 6);
+  for (std::size_t v = 1; v < versions.size(); ++v) {
+    std::unordered_set<Fingerprint> prev;
+    for (const auto& c : versions[v - 1].chunks) prev.insert(c.fp);
+    std::size_t fresh = 0;
+    for (const auto& c : versions[v].chunks) fresh += !prev.contains(c.fp);
+    const double fresh_rate = static_cast<double>(fresh) /
+                              static_cast<double>(versions[v].chunks.size());
+    // mod 6.2% + ins 1.2% ⇒ roughly 4-12% new chunks per version.
+    EXPECT_GT(fresh_rate, 0.02) << "version " << v;
+    EXPECT_LT(fresh_rate, 0.16) << "version " << v;
+  }
+}
+
+// Figure 3's defining observation: chunks absent from the current version
+// almost never reappear later — except in the macos profile, where they may
+// skip exactly one version.
+TEST(Generator, KernelChunksDoNotReturnAfterLeaving) {
+  const auto versions = generate(WorkloadProfile::kernel(), 10);
+  std::unordered_map<Fingerprint, std::size_t> last_seen;
+  std::size_t returns = 0, total = 0;
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    std::unordered_set<Fingerprint> now;
+    for (const auto& c : versions[v].chunks) now.insert(c.fp);
+    for (const auto& fp : now) {
+      const auto it = last_seen.find(fp);
+      if (it != last_seen.end()) {
+        ++total;
+        if (v - it->second > 1) ++returns;  // skipped at least one version
+      }
+      last_seen[fp] = v;
+    }
+  }
+  EXPECT_EQ(returns, 0u);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Generator, MacosChunksSkipExactlyOneVersion) {
+  const auto versions = generate(WorkloadProfile::macos(), 12);
+  std::unordered_map<Fingerprint, std::size_t> last_seen;
+  std::size_t skip_one = 0, skip_more = 0;
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    std::unordered_set<Fingerprint> now;
+    for (const auto& c : versions[v].chunks) now.insert(c.fp);
+    for (const auto& fp : now) {
+      const auto it = last_seen.find(fp);
+      if (it != last_seen.end()) {
+        if (v - it->second == 2) ++skip_one;
+        if (v - it->second > 2) ++skip_more;
+      }
+      last_seen[fp] = v;
+    }
+  }
+  EXPECT_GT(skip_one, 0u) << "macos must produce 1-version skips";
+  EXPECT_EQ(skip_more, 0u) << "but never longer gaps";
+}
+
+TEST(Generator, VersionSizeStaysRoughlyStable) {
+  auto p = WorkloadProfile::gcc();
+  p.chunks_per_version = 2000;
+  const auto versions = generate(p, 30);
+  for (const auto& vs : versions) {
+    EXPECT_GT(vs.chunks.size(), 1000u);
+    EXPECT_LT(vs.chunks.size(), 4000u);
+  }
+}
+
+TEST(Generator, ProfilesAreDistinct) {
+  // Different seeds/namespaces: no chunk collisions across profiles.
+  const auto a = generate(WorkloadProfile::kernel(), 2);
+  const auto b = generate(WorkloadProfile::gcc(), 2);
+  std::set<Fingerprint> fps_a;
+  for (const auto& vs : a) {
+    for (const auto& c : vs.chunks) fps_a.insert(c.fp);
+  }
+  for (const auto& vs : b) {
+    for (const auto& c : vs.chunks) EXPECT_FALSE(fps_a.contains(c.fp));
+  }
+}
+
+TEST(Generator, MakeChunkMatchesStreamChunks) {
+  const auto rec = VersionChainGenerator::make_chunk(12345);
+  EXPECT_EQ(rec.fp, Fingerprint::from_seed(12345));
+  EXPECT_EQ(rec.content_seed, 12345u);
+  const auto bytes = rec.materialize();
+  EXPECT_EQ(bytes.size(), rec.size);
+}
+
+TEST(ByteWorkload, VersionsEvolveButShareContent) {
+  ByteStreamWorkload workload(7, 256 * 1024);
+  const auto v1 = workload.next_version(0.05);
+  const auto v2 = workload.next_version(0.05);
+  EXPECT_EQ(v1.size(), 256u * 1024u);
+  // Sizes drift slightly (inserts/deletes) but stay in the same ballpark.
+  EXPECT_GT(v2.size(), 200u * 1024u);
+  EXPECT_LT(v2.size(), 320u * 1024u);
+  EXPECT_NE(v1, v2);
+  // Inserts/deletes shift byte positions, so sharing must be measured
+  // content-defined — exactly what CDC chunking does.
+  TttdChunker chunker;
+  std::unordered_set<Fingerprint> fps_v1;
+  for (const auto& c : chunk_bytes(chunker, v1).chunks) fps_v1.insert(c.fp);
+  const auto stream_v2 = chunk_bytes(chunker, v2);
+  std::size_t shared = 0;
+  for (const auto& c : stream_v2.chunks) shared += fps_v1.contains(c.fp);
+  EXPECT_GT(static_cast<double>(shared) /
+                static_cast<double>(stream_v2.chunks.size()),
+            0.5);
+}
+
+TEST(ByteWorkload, Deterministic) {
+  ByteStreamWorkload a(9, 64 * 1024), b(9, 64 * 1024);
+  EXPECT_EQ(a.next_version(0.1), b.next_version(0.1));
+  EXPECT_EQ(a.next_version(0.1), b.next_version(0.1));
+}
+
+}  // namespace
+}  // namespace hds
