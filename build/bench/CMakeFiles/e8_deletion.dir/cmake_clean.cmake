@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_deletion.dir/e8_deletion.cpp.o"
+  "CMakeFiles/e8_deletion.dir/e8_deletion.cpp.o.d"
+  "e8_deletion"
+  "e8_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

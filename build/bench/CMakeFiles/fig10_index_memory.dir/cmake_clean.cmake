@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_index_memory.dir/fig10_index_memory.cpp.o"
+  "CMakeFiles/fig10_index_memory.dir/fig10_index_memory.cpp.o.d"
+  "fig10_index_memory"
+  "fig10_index_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_index_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_restore_speed.dir/fig11_restore_speed.cpp.o"
+  "CMakeFiles/fig11_restore_speed.dir/fig11_restore_speed.cpp.o.d"
+  "fig11_restore_speed"
+  "fig11_restore_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_restore_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

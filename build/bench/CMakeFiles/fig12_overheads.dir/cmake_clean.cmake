@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overheads.dir/fig12_overheads.cpp.o"
+  "CMakeFiles/fig12_overheads.dir/fig12_overheads.cpp.o.d"
+  "fig12_overheads"
+  "fig12_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

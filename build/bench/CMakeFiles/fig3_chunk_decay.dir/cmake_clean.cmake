@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_chunk_decay.dir/fig3_chunk_decay.cpp.o"
+  "CMakeFiles/fig3_chunk_decay.dir/fig3_chunk_decay.cpp.o.d"
+  "fig3_chunk_decay"
+  "fig3_chunk_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_chunk_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_chunk_decay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_backup.dir/micro_backup.cpp.o"
+  "CMakeFiles/micro_backup.dir/micro_backup.cpp.o.d"
+  "micro_backup"
+  "micro_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

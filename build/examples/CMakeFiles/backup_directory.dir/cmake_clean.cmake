@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_directory.dir/backup_directory.cpp.o"
+  "CMakeFiles/backup_directory.dir/backup_directory.cpp.o.d"
+  "backup_directory"
+  "backup_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

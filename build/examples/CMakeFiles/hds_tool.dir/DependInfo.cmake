@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hds_tool.cpp" "examples/CMakeFiles/hds_tool.dir/hds_tool.cpp.o" "gcc" "examples/CMakeFiles/hds_tool.dir/hds_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/hds_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hds_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/hds_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/restore/CMakeFiles/hds_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/hds_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_tool.dir/hds_tool.cpp.o"
+  "CMakeFiles/hds_tool.dir/hds_tool.cpp.o.d"
+  "hds_tool"
+  "hds_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

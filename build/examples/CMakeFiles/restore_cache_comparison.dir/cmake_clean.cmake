@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_cache_comparison.dir/restore_cache_comparison.cpp.o"
+  "CMakeFiles/restore_cache_comparison.dir/restore_cache_comparison.cpp.o.d"
+  "restore_cache_comparison"
+  "restore_cache_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_cache_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

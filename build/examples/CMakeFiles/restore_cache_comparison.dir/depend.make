@@ -1,0 +1,2 @@
+# Empty dependencies file for restore_cache_comparison.
+# This may be replaced when dependencies are built.

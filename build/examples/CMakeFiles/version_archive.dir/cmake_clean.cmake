@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_archive.dir/version_archive.cpp.o"
+  "CMakeFiles/version_archive.dir/version_archive.cpp.o.d"
+  "version_archive"
+  "version_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

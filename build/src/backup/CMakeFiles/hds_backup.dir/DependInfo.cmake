@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/catalog.cpp" "src/backup/CMakeFiles/hds_backup.dir/catalog.cpp.o" "gcc" "src/backup/CMakeFiles/hds_backup.dir/catalog.cpp.o.d"
+  "/root/repo/src/backup/gc.cpp" "src/backup/CMakeFiles/hds_backup.dir/gc.cpp.o" "gcc" "src/backup/CMakeFiles/hds_backup.dir/gc.cpp.o.d"
+  "/root/repo/src/backup/pipeline.cpp" "src/backup/CMakeFiles/hds_backup.dir/pipeline.cpp.o" "gcc" "src/backup/CMakeFiles/hds_backup.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hds_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/hds_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/restore/CMakeFiles/hds_restore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_backup.dir/catalog.cpp.o"
+  "CMakeFiles/hds_backup.dir/catalog.cpp.o.d"
+  "CMakeFiles/hds_backup.dir/gc.cpp.o"
+  "CMakeFiles/hds_backup.dir/gc.cpp.o.d"
+  "CMakeFiles/hds_backup.dir/pipeline.cpp.o"
+  "CMakeFiles/hds_backup.dir/pipeline.cpp.o.d"
+  "libhds_backup.a"
+  "libhds_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

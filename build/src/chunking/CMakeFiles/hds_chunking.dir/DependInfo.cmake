@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunking/ae.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/ae.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/ae.cpp.o.d"
+  "/root/repo/src/chunking/chunk_stream.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/chunk_stream.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/chunk_stream.cpp.o.d"
+  "/root/repo/src/chunking/chunker.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/chunker.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/chunker.cpp.o.d"
+  "/root/repo/src/chunking/fastcdc.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/fastcdc.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/fastcdc.cpp.o.d"
+  "/root/repo/src/chunking/rabin.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/rabin.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/rabin.cpp.o.d"
+  "/root/repo/src/chunking/tttd.cpp" "src/chunking/CMakeFiles/hds_chunking.dir/tttd.cpp.o" "gcc" "src/chunking/CMakeFiles/hds_chunking.dir/tttd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_chunking.dir/ae.cpp.o"
+  "CMakeFiles/hds_chunking.dir/ae.cpp.o.d"
+  "CMakeFiles/hds_chunking.dir/chunk_stream.cpp.o"
+  "CMakeFiles/hds_chunking.dir/chunk_stream.cpp.o.d"
+  "CMakeFiles/hds_chunking.dir/chunker.cpp.o"
+  "CMakeFiles/hds_chunking.dir/chunker.cpp.o.d"
+  "CMakeFiles/hds_chunking.dir/fastcdc.cpp.o"
+  "CMakeFiles/hds_chunking.dir/fastcdc.cpp.o.d"
+  "CMakeFiles/hds_chunking.dir/rabin.cpp.o"
+  "CMakeFiles/hds_chunking.dir/rabin.cpp.o.d"
+  "CMakeFiles/hds_chunking.dir/tttd.cpp.o"
+  "CMakeFiles/hds_chunking.dir/tttd.cpp.o.d"
+  "libhds_chunking.a"
+  "libhds_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

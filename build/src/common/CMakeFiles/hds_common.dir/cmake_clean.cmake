@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_common.dir/chunk.cpp.o"
+  "CMakeFiles/hds_common.dir/chunk.cpp.o.d"
+  "CMakeFiles/hds_common.dir/crc32.cpp.o"
+  "CMakeFiles/hds_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/hds_common.dir/fingerprint.cpp.o"
+  "CMakeFiles/hds_common.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/hds_common.dir/sha1.cpp.o"
+  "CMakeFiles/hds_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/hds_common.dir/stats.cpp.o"
+  "CMakeFiles/hds_common.dir/stats.cpp.o.d"
+  "libhds_common.a"
+  "libhds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_pool.cpp" "src/core/CMakeFiles/hds_core.dir/active_pool.cpp.o" "gcc" "src/core/CMakeFiles/hds_core.dir/active_pool.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/hds_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/hds_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/double_cache.cpp" "src/core/CMakeFiles/hds_core.dir/double_cache.cpp.o" "gcc" "src/core/CMakeFiles/hds_core.dir/double_cache.cpp.o.d"
+  "/root/repo/src/core/hidestore.cpp" "src/core/CMakeFiles/hds_core.dir/hidestore.cpp.o" "gcc" "src/core/CMakeFiles/hds_core.dir/hidestore.cpp.o.d"
+  "/root/repo/src/core/recipe_chain.cpp" "src/core/CMakeFiles/hds_core.dir/recipe_chain.cpp.o" "gcc" "src/core/CMakeFiles/hds_core.dir/recipe_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/hds_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/restore/CMakeFiles/hds_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hds_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/hds_rewrite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_core.dir/active_pool.cpp.o"
+  "CMakeFiles/hds_core.dir/active_pool.cpp.o.d"
+  "CMakeFiles/hds_core.dir/advisor.cpp.o"
+  "CMakeFiles/hds_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/hds_core.dir/double_cache.cpp.o"
+  "CMakeFiles/hds_core.dir/double_cache.cpp.o.d"
+  "CMakeFiles/hds_core.dir/hidestore.cpp.o"
+  "CMakeFiles/hds_core.dir/hidestore.cpp.o.d"
+  "CMakeFiles/hds_core.dir/recipe_chain.cpp.o"
+  "CMakeFiles/hds_core.dir/recipe_chain.cpp.o.d"
+  "libhds_core.a"
+  "libhds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bloom_filter.cpp" "src/index/CMakeFiles/hds_index.dir/bloom_filter.cpp.o" "gcc" "src/index/CMakeFiles/hds_index.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/index/full_index.cpp" "src/index/CMakeFiles/hds_index.dir/full_index.cpp.o" "gcc" "src/index/CMakeFiles/hds_index.dir/full_index.cpp.o.d"
+  "/root/repo/src/index/silo_index.cpp" "src/index/CMakeFiles/hds_index.dir/silo_index.cpp.o" "gcc" "src/index/CMakeFiles/hds_index.dir/silo_index.cpp.o.d"
+  "/root/repo/src/index/sparse_index.cpp" "src/index/CMakeFiles/hds_index.dir/sparse_index.cpp.o" "gcc" "src/index/CMakeFiles/hds_index.dir/sparse_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_index.dir/bloom_filter.cpp.o"
+  "CMakeFiles/hds_index.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/hds_index.dir/full_index.cpp.o"
+  "CMakeFiles/hds_index.dir/full_index.cpp.o.d"
+  "CMakeFiles/hds_index.dir/silo_index.cpp.o"
+  "CMakeFiles/hds_index.dir/silo_index.cpp.o.d"
+  "CMakeFiles/hds_index.dir/sparse_index.cpp.o"
+  "CMakeFiles/hds_index.dir/sparse_index.cpp.o.d"
+  "libhds_index.a"
+  "libhds_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

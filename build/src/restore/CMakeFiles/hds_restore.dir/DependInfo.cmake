@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/restore/alacc.cpp" "src/restore/CMakeFiles/hds_restore.dir/alacc.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/alacc.cpp.o.d"
+  "/root/repo/src/restore/basic_caches.cpp" "src/restore/CMakeFiles/hds_restore.dir/basic_caches.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/basic_caches.cpp.o.d"
+  "/root/repo/src/restore/faa.cpp" "src/restore/CMakeFiles/hds_restore.dir/faa.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/faa.cpp.o.d"
+  "/root/repo/src/restore/fbw_cache.cpp" "src/restore/CMakeFiles/hds_restore.dir/fbw_cache.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/fbw_cache.cpp.o.d"
+  "/root/repo/src/restore/partial.cpp" "src/restore/CMakeFiles/hds_restore.dir/partial.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/partial.cpp.o.d"
+  "/root/repo/src/restore/restorer.cpp" "src/restore/CMakeFiles/hds_restore.dir/restorer.cpp.o" "gcc" "src/restore/CMakeFiles/hds_restore.dir/restorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_restore.dir/alacc.cpp.o"
+  "CMakeFiles/hds_restore.dir/alacc.cpp.o.d"
+  "CMakeFiles/hds_restore.dir/basic_caches.cpp.o"
+  "CMakeFiles/hds_restore.dir/basic_caches.cpp.o.d"
+  "CMakeFiles/hds_restore.dir/faa.cpp.o"
+  "CMakeFiles/hds_restore.dir/faa.cpp.o.d"
+  "CMakeFiles/hds_restore.dir/fbw_cache.cpp.o"
+  "CMakeFiles/hds_restore.dir/fbw_cache.cpp.o.d"
+  "CMakeFiles/hds_restore.dir/partial.cpp.o"
+  "CMakeFiles/hds_restore.dir/partial.cpp.o.d"
+  "CMakeFiles/hds_restore.dir/restorer.cpp.o"
+  "CMakeFiles/hds_restore.dir/restorer.cpp.o.d"
+  "libhds_restore.a"
+  "libhds_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/capping.cpp" "src/rewrite/CMakeFiles/hds_rewrite.dir/capping.cpp.o" "gcc" "src/rewrite/CMakeFiles/hds_rewrite.dir/capping.cpp.o.d"
+  "/root/repo/src/rewrite/cbr.cpp" "src/rewrite/CMakeFiles/hds_rewrite.dir/cbr.cpp.o" "gcc" "src/rewrite/CMakeFiles/hds_rewrite.dir/cbr.cpp.o.d"
+  "/root/repo/src/rewrite/cfl.cpp" "src/rewrite/CMakeFiles/hds_rewrite.dir/cfl.cpp.o" "gcc" "src/rewrite/CMakeFiles/hds_rewrite.dir/cfl.cpp.o.d"
+  "/root/repo/src/rewrite/dynamic_capping.cpp" "src/rewrite/CMakeFiles/hds_rewrite.dir/dynamic_capping.cpp.o" "gcc" "src/rewrite/CMakeFiles/hds_rewrite.dir/dynamic_capping.cpp.o.d"
+  "/root/repo/src/rewrite/rewrite_filter.cpp" "src/rewrite/CMakeFiles/hds_rewrite.dir/rewrite_filter.cpp.o" "gcc" "src/rewrite/CMakeFiles/hds_rewrite.dir/rewrite_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hds_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

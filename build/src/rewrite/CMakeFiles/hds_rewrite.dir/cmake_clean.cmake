@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_rewrite.dir/capping.cpp.o"
+  "CMakeFiles/hds_rewrite.dir/capping.cpp.o.d"
+  "CMakeFiles/hds_rewrite.dir/cbr.cpp.o"
+  "CMakeFiles/hds_rewrite.dir/cbr.cpp.o.d"
+  "CMakeFiles/hds_rewrite.dir/cfl.cpp.o"
+  "CMakeFiles/hds_rewrite.dir/cfl.cpp.o.d"
+  "CMakeFiles/hds_rewrite.dir/dynamic_capping.cpp.o"
+  "CMakeFiles/hds_rewrite.dir/dynamic_capping.cpp.o.d"
+  "CMakeFiles/hds_rewrite.dir/rewrite_filter.cpp.o"
+  "CMakeFiles/hds_rewrite.dir/rewrite_filter.cpp.o.d"
+  "libhds_rewrite.a"
+  "libhds_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

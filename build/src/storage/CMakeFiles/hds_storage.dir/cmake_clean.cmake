@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_storage.dir/container.cpp.o"
+  "CMakeFiles/hds_storage.dir/container.cpp.o.d"
+  "CMakeFiles/hds_storage.dir/container_store.cpp.o"
+  "CMakeFiles/hds_storage.dir/container_store.cpp.o.d"
+  "CMakeFiles/hds_storage.dir/recipe.cpp.o"
+  "CMakeFiles/hds_storage.dir/recipe.cpp.o.d"
+  "libhds_storage.a"
+  "libhds_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

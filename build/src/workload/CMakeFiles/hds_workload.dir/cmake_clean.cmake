@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_workload.dir/generator.cpp.o"
+  "CMakeFiles/hds_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hds_workload.dir/profile.cpp.o"
+  "CMakeFiles/hds_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/hds_workload.dir/trace.cpp.o"
+  "CMakeFiles/hds_workload.dir/trace.cpp.o.d"
+  "libhds_workload.a"
+  "libhds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

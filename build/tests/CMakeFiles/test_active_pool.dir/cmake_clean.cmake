@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_pool.dir/test_active_pool.cpp.o"
+  "CMakeFiles/test_active_pool.dir/test_active_pool.cpp.o.d"
+  "test_active_pool"
+  "test_active_pool.pdb"
+  "test_active_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

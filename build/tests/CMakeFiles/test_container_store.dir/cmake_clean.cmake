@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_store.dir/test_container_store.cpp.o"
+  "CMakeFiles/test_container_store.dir/test_container_store.cpp.o.d"
+  "test_container_store"
+  "test_container_store.pdb"
+  "test_container_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

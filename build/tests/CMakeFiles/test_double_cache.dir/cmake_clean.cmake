@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_cache.dir/test_double_cache.cpp.o"
+  "CMakeFiles/test_double_cache.dir/test_double_cache.cpp.o.d"
+  "test_double_cache"
+  "test_double_cache.pdb"
+  "test_double_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

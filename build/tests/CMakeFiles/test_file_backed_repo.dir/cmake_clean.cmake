@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_backed_repo.dir/test_file_backed_repo.cpp.o"
+  "CMakeFiles/test_file_backed_repo.dir/test_file_backed_repo.cpp.o.d"
+  "test_file_backed_repo"
+  "test_file_backed_repo.pdb"
+  "test_file_backed_repo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_backed_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_index.dir/test_full_index.cpp.o"
+  "CMakeFiles/test_full_index.dir/test_full_index.cpp.o.d"
+  "test_full_index"
+  "test_full_index.pdb"
+  "test_full_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hidestore.dir/test_hidestore.cpp.o"
+  "CMakeFiles/test_hidestore.dir/test_hidestore.cpp.o.d"
+  "test_hidestore"
+  "test_hidestore.pdb"
+  "test_hidestore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hidestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_restore.dir/test_partial_restore.cpp.o"
+  "CMakeFiles/test_partial_restore.dir/test_partial_restore.cpp.o.d"
+  "test_partial_restore"
+  "test_partial_restore.pdb"
+  "test_partial_restore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recipe.dir/test_recipe.cpp.o"
+  "CMakeFiles/test_recipe.dir/test_recipe.cpp.o.d"
+  "test_recipe"
+  "test_recipe.pdb"
+  "test_recipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recipe_chain.dir/test_recipe_chain.cpp.o"
+  "CMakeFiles/test_recipe_chain.dir/test_recipe_chain.cpp.o.d"
+  "test_recipe_chain"
+  "test_recipe_chain.pdb"
+  "test_recipe_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recipe_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_silo.dir/test_sparse_silo.cpp.o"
+  "CMakeFiles/test_sparse_silo.dir/test_sparse_silo.cpp.o.d"
+  "test_sparse_silo"
+  "test_sparse_silo.pdb"
+  "test_sparse_silo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_silo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_chunking[1]_include.cmake")
+include("/root/repo/build/tests/test_container[1]_include.cmake")
+include("/root/repo/build/tests/test_container_store[1]_include.cmake")
+include("/root/repo/build/tests/test_recipe[1]_include.cmake")
+include("/root/repo/build/tests/test_bloom[1]_include.cmake")
+include("/root/repo/build/tests/test_full_index[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_silo[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_restore[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_double_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_active_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_recipe_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_hidestore[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_file_backed_repo[1]_include.cmake")
+include("/root/repo/build/tests/test_partial_restore[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
