@@ -14,19 +14,31 @@
 //   hds_tool restore-file <repo> <version> <path> <outfile>
 //                                                pull ONE file out of a
 //                                                snapshot (partial restore)
+//   hds_tool stats   <repo> [--json]             export the metrics registry
+//                                                (Prometheus text by default)
+//
+// Observability flags (any command):
+//   --metrics-out=<file>   write a JSON metrics snapshot after the command
+//   --trace-out=<file>     record phase spans, dump Chrome trace_event JSON
+//   HDS_LOG=<level>        structured key=value logs on stderr
 //
 // Directories are serialized as path+size headers followed by file bytes
 // (same layout as examples/backup_directory), so a restore of a directory
 // backup reproduces that serialized stream.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "backup/catalog.h"
 #include "chunking/chunk_stream.h"
 #include "chunking/tttd.h"
 #include "core/hidestore.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "restore/faa.h"
 
 namespace fs = std::filesystem;
@@ -37,10 +49,19 @@ using namespace hds;
 
 std::vector<std::uint8_t> read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s for reading\n",
+                 path.string().c_str());
+    std::exit(1);
+  }
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
   in.seekg(0);
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
+  if (!in || static_cast<std::size_t>(in.gcount()) != bytes.size()) {
+    std::fprintf(stderr, "error: short read on %s\n", path.string().c_str());
+    std::exit(1);
+  }
   return bytes;
 }
 
@@ -90,8 +111,39 @@ void save_catalog(const fs::path& repo, const FileCatalog& catalog) {
 int usage() {
   std::fprintf(stderr,
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
-               "files|restore-file <repo> [args]\n");
+               "files|restore-file|stats <repo> [args]\n"
+               "       [--metrics-out=<file>] [--trace-out=<file>] "
+               "[--json]\n");
   return 2;
+}
+
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  bool json = false;
+};
+
+// Writes the metrics snapshot / trace file if requested. Returns false (and
+// complains) on I/O failure so commands can fail loudly.
+bool finish_observability(HiDeStore& sys, const ObsOptions& options,
+                          const obs::Tracer& tracer) {
+  bool ok = true;
+  if (!options.metrics_out.empty()) {
+    sys.refresh_gauges();
+    std::ofstream out(options.metrics_out, std::ios::trunc);
+    out << sys.metrics().to_json();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+      ok = false;
+    }
+  }
+  if (!options.trace_out.empty() && !tracer.dump(options.trace_out)) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n",
+                 options.trace_out.c_str());
+    ok = false;
+  }
+  return ok;
 }
 
 std::unique_ptr<HiDeStore> open_repo(const fs::path& repo) {
@@ -106,9 +158,29 @@ std::unique_ptr<HiDeStore> open_repo(const fs::path& repo) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string command = argv[1];
-  const fs::path repo = argv[2];
+  ObsOptions options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string command = args[0];
+  const fs::path repo = args[1];
+  const auto arg_at = [&](std::size_t i) -> const char* {
+    return args[i].c_str();
+  };
 
   if (command == "init") {
     if (fs::exists(repo / "state.hds")) {
@@ -129,18 +201,37 @@ int main(int argc, char** argv) {
   auto sys = open_repo(repo);
   if (!sys) return 1;
 
+  // The tracer lives at tool scope so every phase of the command — chunking
+  // included — lands in one timeline.
+  obs::Tracer tracer;
+  if (!options.trace_out.empty()) sys->set_tracer(&tracer);
+
+  const int rc = [&]() -> int {
+  if (command == "stats") {
+    sys->refresh_gauges();
+    const auto text = options.json ? sys->metrics().to_json()
+                                   : sys->metrics().to_prometheus();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+
   if (command == "backup") {
-    if (argc < 4) return usage();
-    const fs::path source = argv[3];
+    if (args.size() < 3) return usage();
+    const fs::path source = arg_at(2);
     if (!fs::exists(source)) {
       std::fprintf(stderr, "error: no such file or directory: %s\n",
                    source.string().c_str());
       return 1;
     }
     std::vector<CatalogEntry> files;
+    obs::Span snapshot_span = tracer.span("snapshot_source");
     const auto snapshot = snapshot_source(source, files);
+    snapshot_span.end();
     TttdChunker chunker;
-    const auto report = sys->backup(chunk_bytes(chunker, snapshot));
+    obs::Span chunk_span = tracer.span("chunking");
+    const auto stream = chunk_bytes(chunker, snapshot);
+    chunk_span.end();
+    const auto report = sys->backup(stream);
     auto catalog = load_catalog(repo);
     catalog.add_version(report.version, std::move(files));
     save_catalog(repo, catalog);
@@ -175,12 +266,12 @@ int main(int argc, char** argv) {
   }
 
   if (command == "restore") {
-    if (argc < 5) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(argv[3],
+    if (args.size() < 4) return usage();
+    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
                                                              nullptr, 10));
-    std::ofstream out(argv[4], std::ios::binary | std::ios::trunc);
+    std::ofstream out(arg_at(3), std::ios::binary | std::ios::trunc);
     if (!out) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[4]);
+      std::fprintf(stderr, "error: cannot open %s\n", arg_at(3));
       return 1;
     }
     const auto report = sys->restore(
@@ -204,8 +295,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "expire") {
-    if (argc < 4) return usage();
-    const auto upto = static_cast<VersionId>(std::strtoul(argv[3], nullptr,
+    if (args.size() < 3) return usage();
+    const auto upto = static_cast<VersionId>(std::strtoul(arg_at(2), nullptr,
                                                           10));
     const auto report = sys->delete_versions_up_to(upto);
     sys->save(repo);
@@ -218,8 +309,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "files") {
-    if (argc < 4) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(argv[3],
+    if (args.size() < 3) return usage();
+    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
                                                              nullptr, 10));
     const auto catalog = load_catalog(repo);
     const auto* files = catalog.files(version);
@@ -236,17 +327,17 @@ int main(int argc, char** argv) {
   }
 
   if (command == "restore-file") {
-    if (argc < 6) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(argv[3],
+    if (args.size() < 5) return usage();
+    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
                                                              nullptr, 10));
     const auto catalog = load_catalog(repo);
-    const auto entry = catalog.find(version, argv[4]);
+    const auto entry = catalog.find(version, arg_at(3));
     if (!entry) {
-      std::fprintf(stderr, "error: %s not in version %u\n", argv[4],
+      std::fprintf(stderr, "error: %s not in version %u\n", arg_at(3),
                    version);
       return 1;
     }
-    std::ofstream out(argv[5], std::ios::binary | std::ios::trunc);
+    std::ofstream out(arg_at(4), std::ios::binary | std::ios::trunc);
     RestoreConfig config;
     FaaRestore policy(config);
     const auto report = sys->restore_range(
@@ -256,7 +347,7 @@ int main(int argc, char** argv) {
                     static_cast<std::streamsize>(bytes.size()));
         });
     std::printf("restored %s (%llu bytes) with %llu container reads\n",
-                argv[4], static_cast<unsigned long long>(entry->length),
+                arg_at(3), static_cast<unsigned long long>(entry->length),
                 static_cast<unsigned long long>(
                     report.stats.container_reads));
     return 0;
@@ -270,4 +361,9 @@ int main(int argc, char** argv) {
   }
 
   return usage();
+  }();
+
+  sys->set_tracer(nullptr);
+  if (!finish_observability(*sys, options, tracer)) return 1;
+  return rc;
 }

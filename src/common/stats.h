@@ -1,8 +1,10 @@
 // Small measurement utilities shared by benches and the pipeline.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -23,24 +25,49 @@ class Stopwatch {
   clock::time_point start_;
 };
 
-// Streaming mean/min/max accumulator.
+// Streaming mean/min/max accumulator. Accumulators combine with merge(), so
+// per-thread or per-bench instances can be folded into one.
 class MeanAccumulator {
  public:
   void add(double v) noexcept {
     sum_ += v;
     ++count_;
-    if (v < min_ || count_ == 1) min_ = v;
-    if (v > max_ || count_ == 1) max_ = v;
+    // Extrema start at ±infinity, so the first sample needs no special case.
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  void merge(const MeanAccumulator& other) noexcept {
+    sum_ += other.sum_;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Reconstructs an accumulator from externally tracked aggregates (e.g. a
+  // metrics histogram's count/sum/min/max).
+  [[nodiscard]] static MeanAccumulator from_parts(double sum,
+                                                  std::uint64_t count,
+                                                  double min,
+                                                  double max) noexcept {
+    MeanAccumulator acc;
+    if (count == 0) return acc;
+    acc.sum_ = sum;
+    acc.count_ = count;
+    acc.min_ = min;
+    acc.max_ = max;
+    return acc;
   }
   [[nodiscard]] double mean() const noexcept {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 
  private:
-  double sum_ = 0, min_ = 0, max_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
   std::uint64_t count_ = 0;
 };
 

@@ -63,6 +63,10 @@ class ActiveContainerPool {
   [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
+  // Mirrors restore-time fetches into `pool_container_reads` /
+  // `pool_bytes_read` counters of `registry` (which must outlive the pool).
+  void attach_metrics(obs::MetricsRegistry& registry);
+
   // Cold chunks of one source container, in storage-offset order — eviction
   // preserves the physical adjacency the chunks already had.
   [[nodiscard]] std::vector<ContainerId> container_ids_sorted() const;
@@ -82,6 +86,8 @@ class ActiveContainerPool {
   std::unordered_map<ContainerId, std::shared_ptr<Container>> containers_;
   std::unordered_map<Fingerprint, ContainerId> index_;
   IoStats stats_;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
 };
 
 }  // namespace hds

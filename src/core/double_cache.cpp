@@ -14,14 +14,18 @@ DoubleHashFingerprintCache::DoubleHashFingerprintCache(int window)
 }
 
 const CacheEntry* DoubleHashFingerprintCache::lookup_and_promote(
-    const Fingerprint& fp) {
+    const Fingerprint& fp, CacheTier* tier) {
   // Case three (Figure 5): already seen in the current version.
-  if (const auto it = t2_.find(fp); it != t2_.end()) return &it->second;
+  if (const auto it = t2_.find(fp); it != t2_.end()) {
+    if (tier != nullptr) *tier = CacheTier::kT2;
+    return &it->second;
+  }
 
   // Case two: hot chunk from the previous version — migrate T1 → T2.
   if (const auto it = t1_.find(fp); it != t1_.end()) {
     const auto [t2_it, _] = t2_.emplace(fp, it->second);
     t1_.erase(it);
+    if (tier != nullptr) *tier = CacheTier::kT1;
     return &t2_it->second;
   }
 
@@ -30,6 +34,7 @@ const CacheEntry* DoubleHashFingerprintCache::lookup_and_promote(
     if (const auto it = t0_.find(fp); it != t0_.end()) {
       const auto [t2_it, _] = t2_.emplace(fp, it->second);
       t0_.erase(it);
+      if (tier != nullptr) *tier = CacheTier::kT0;
       return &t2_it->second;
     }
   }

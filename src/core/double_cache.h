@@ -31,6 +31,10 @@ struct CacheEntry {
   std::uint32_t size = 0;
 };
 
+// Which table answered a duplicate probe — the dedup telemetry the metrics
+// layer reports (T1/T2 hits must sum with unique chunks to chunks seen).
+enum class CacheTier { kT2, kT1, kT0 };
+
 class DoubleHashFingerprintCache {
  public:
   using Table = std::unordered_map<Fingerprint, CacheEntry>;
@@ -40,8 +44,10 @@ class DoubleHashFingerprintCache {
   explicit DoubleHashFingerprintCache(int window = 1);
 
   // Duplicate probe implementing the three cases above. Returns the entry
-  // if the chunk is a duplicate (already promoting it into T2).
-  [[nodiscard]] const CacheEntry* lookup_and_promote(const Fingerprint& fp);
+  // if the chunk is a duplicate (already promoting it into T2). When `tier`
+  // is non-null and the probe hits, it reports which table answered.
+  [[nodiscard]] const CacheEntry* lookup_and_promote(
+      const Fingerprint& fp, CacheTier* tier = nullptr);
 
   // Registers a freshly stored unique chunk in T2.
   void insert_unique(const Fingerprint& fp, ContainerId active_cid,

@@ -6,6 +6,7 @@
 
 #include "common/byte_io.h"
 #include "common/crc32.h"
+#include "obs/log.h"
 #include "restore/faa.h"
 #include "restore/partial.h"
 
@@ -43,65 +44,159 @@ HiDeStore::HiDeStore(const HiDeStoreConfig& config)
     : config_(config),
       store_(make_archival_store(config, /*index_existing=*/false)),
       pool_(config.container_size, config.materialize_contents),
-      cache_(config.cache_window) {}
+      cache_(config.cache_window) {
+  register_metrics();
+  store_->attach_metrics(metrics_, "store");
+  pool_.attach_metrics(metrics_);
+}
+
+void HiDeStore::register_metrics() {
+  for (const char* name :
+       {// Backup / dedup (§4.1): t1_hits + t2_hits (+ t0_hits when
+        // cache_window == 2) + unique_chunks == chunks_processed, and
+        // index_disk_lookups stays 0 forever.
+        "chunks_processed", "t1_hits", "t2_hits", "t0_hits", "unique_chunks",
+        "cache_migrations", "index_disk_lookups", "logical_bytes",
+        "stored_bytes", "backups_completed",
+        // Cold eviction / compaction (§4.2).
+        "cold_chunks_moved", "cold_bytes_moved", "containers_merged",
+        // Restore (§4.4).
+        "restores_completed", "restored_bytes", "restored_chunks",
+        "restore_container_reads", "restore_cache_hits",
+        "restore_cache_evictions", "restore_chain_hops",
+        "restore_failed_chunks", "recipe_entries_flattened",
+        // Deletion (§4.5): delete_chunks_scanned stays 0 — no GC.
+        "versions_deleted", "containers_erased", "bytes_reclaimed",
+        "delete_chunks_scanned"}) {
+    (void)metrics_.counter(name);
+  }
+  for (const char* name : {"backup_ms", "recipe_update_ms",
+                           "move_and_merge_ms", "restore_ms", "delete_ms"}) {
+    (void)metrics_.histogram(name);
+  }
+  refresh_gauges();
+}
+
+void HiDeStore::refresh_gauges() {
+  metrics_.gauge("cache_memory_bytes")
+      .set(static_cast<double>(cache_.memory_bytes()));
+  metrics_.gauge("active_containers")
+      .set(static_cast<double>(pool_.container_count()));
+  metrics_.gauge("archival_containers")
+      .set(static_cast<double>(store_->container_count()));
+  metrics_.gauge("active_pool_bytes")
+      .set(static_cast<double>(pool_.used_bytes()));
+  metrics_.gauge("versions_retained")
+      .set(static_cast<double>(recipes_.versions().size()));
+  metrics_.gauge("dedup_ratio").set(dedup_ratio());
+}
+
+HiDeStoreOverheads HiDeStore::overheads() const {
+  HiDeStoreOverheads o;
+  if (const auto* h = metrics_.find_histogram("recipe_update_ms")) {
+    o.recipe_update_ms = MeanAccumulator::from_parts(h->sum(), h->count(),
+                                                     h->min(), h->max());
+  }
+  if (const auto* h = metrics_.find_histogram("move_and_merge_ms")) {
+    o.move_and_merge_ms = MeanAccumulator::from_parts(h->sum(), h->count(),
+                                                      h->min(), h->max());
+  }
+  if (const auto* c = metrics_.find_counter("cold_chunks_moved")) {
+    o.cold_chunks_moved = c->value();
+  }
+  if (const auto* c = metrics_.find_counter("cold_bytes_moved")) {
+    o.cold_bytes_moved = c->value();
+  }
+  if (const auto* c = metrics_.find_counter("containers_merged")) {
+    o.containers_merged = c->value();
+  }
+  return o;
+}
 
 BackupReport HiDeStore::backup(const VersionStream& stream) {
   Stopwatch timer;
+  obs::Span backup_span(tracer_, "backup");
   const VersionId version = next_version_++;
 
   BackupReport report;
   report.version = version;
 
   // --- Phase 1: dedup against the fingerprint cache only (§4.1) ---
+  std::uint64_t t1_hits = 0, t2_hits = 0, t0_hits = 0;
   Recipe recipe(version);
-  for (const auto& chunk : stream.chunks) {
-    report.logical_bytes += chunk.size;
-    report.logical_chunks++;
-    if (cache_.lookup_and_promote(chunk.fp) == nullptr) {
-      const ContainerId active_cid = pool_.add(chunk);
-      cache_.insert_unique(chunk.fp, active_cid, chunk.size);
-      report.stored_bytes += chunk.size;
-      report.stored_chunks++;
+  {
+    obs::Span dedup_span(tracer_, "dedup");
+    for (const auto& chunk : stream.chunks) {
+      report.logical_bytes += chunk.size;
+      report.logical_chunks++;
+      CacheTier tier = CacheTier::kT2;
+      if (cache_.lookup_and_promote(chunk.fp, &tier) == nullptr) {
+        const ContainerId active_cid = pool_.add(chunk);
+        cache_.insert_unique(chunk.fp, active_cid, chunk.size);
+        report.stored_bytes += chunk.size;
+        report.stored_chunks++;
+      } else {
+        switch (tier) {
+          case CacheTier::kT2: t2_hits++; break;
+          case CacheTier::kT1: t1_hits++; break;
+          case CacheTier::kT0: t0_hits++; break;
+        }
+      }
+      // Every chunk of the newest version is (for now) in active containers.
+      recipe.add(chunk.fp, kCidActive, chunk.size);
     }
-    // Every chunk of the newest version is (for now) in active containers.
-    recipe.add(chunk.fp, kCidActive, chunk.size);
   }
+  metrics_.counter("chunks_processed").inc(report.logical_chunks);
+  metrics_.counter("t1_hits").inc(t1_hits);
+  metrics_.counter("t2_hits").inc(t2_hits);
+  metrics_.counter("t0_hits").inc(t0_hits);
+  metrics_.counter("unique_chunks").inc(report.stored_chunks);
+  // T1/T0 hits migrate the entry into T2 — the hot set following the data.
+  metrics_.counter("cache_migrations").inc(t1_hits + t0_hits);
+  metrics_.counter("logical_bytes").inc(report.logical_bytes);
+  metrics_.counter("stored_bytes").inc(report.stored_bytes);
 
   // --- Phase 2: classify, evict cold chunks, merge sparse containers ---
   Stopwatch move_timer;
   ColdMap cold_map;
-  auto cold = cache_.rotate();
-  // The cold chunks were last referenced `window` versions ago.
-  const VersionId cold_version =
-      version > static_cast<VersionId>(config_.cache_window)
-          ? version - static_cast<VersionId>(config_.cache_window)
-          : 0;
-  if (!cold.empty()) {
-    evict_cold(std::move(cold), cold_map, cold_version);
+  {
+    obs::Span move_span(tracer_, "move_and_merge");
+    auto cold = cache_.rotate();
+    // The cold chunks were last referenced `window` versions ago.
+    const VersionId cold_version =
+        version > static_cast<VersionId>(config_.cache_window)
+            ? version - static_cast<VersionId>(config_.cache_window)
+            : 0;
+    if (!cold.empty()) {
+      evict_cold(std::move(cold), cold_map, cold_version);
+    }
+    const auto remap = pool_.compact(config_.compaction_threshold);
+    if (!remap.empty()) {
+      cache_.remap_active(remap);
+      metrics_.counter("containers_merged").inc();
+    }
+    metrics_.histogram("move_and_merge_ms").observe(move_timer.elapsed_ms());
   }
-  const auto remap = pool_.compact(config_.compaction_threshold);
-  if (!remap.empty()) {
-    cache_.remap_active(remap);
-    overheads_.containers_merged++;
-  }
-  overheads_.move_and_merge_ms.add(move_timer.elapsed_ms());
 
   // --- Phase 3: finalize the recipe one window back (§4.3) ---
   Stopwatch recipe_timer;
-  if (config_.cache_window == 1) {
-    if (Recipe* prev = recipes_.get(version - 1)) {
-      update_previous_recipe(*prev, cold_map, version, nullptr);
-    }
-  } else if (version >= 2) {
-    if (Recipe* prev2 = recipes_.get(version - 2)) {
-      std::unordered_set<Fingerprint> between;
-      if (const Recipe* prev1 = recipes_.get(version - 1)) {
-        for (const auto& e : prev1->entries()) between.insert(e.fp);
+  {
+    obs::Span recipe_span(tracer_, "recipe_update");
+    if (config_.cache_window == 1) {
+      if (Recipe* prev = recipes_.get(version - 1)) {
+        update_previous_recipe(*prev, cold_map, version, nullptr);
       }
-      update_previous_recipe(*prev2, cold_map, version, &between);
+    } else if (version >= 2) {
+      if (Recipe* prev2 = recipes_.get(version - 2)) {
+        std::unordered_set<Fingerprint> between;
+        if (const Recipe* prev1 = recipes_.get(version - 1)) {
+          for (const auto& e : prev1->entries()) between.insert(e.fp);
+        }
+        update_previous_recipe(*prev2, cold_map, version, &between);
+      }
     }
+    metrics_.histogram("recipe_update_ms").observe(recipe_timer.elapsed_ms());
   }
-  overheads_.recipe_update_ms.add(recipe_timer.elapsed_ms());
 
   recipes_.put(std::move(recipe));
 
@@ -110,11 +205,27 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   report.disk_lookups = 0;  // HiDeStore never consults an on-disk index
   report.index_memory_bytes = 0;  // no full index table (Fig 10)
   report.elapsed_ms = timer.elapsed_ms();
+  metrics_.counter("backups_completed").inc();
+  metrics_.histogram("backup_ms").observe(report.elapsed_ms);
+  refresh_gauges();
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("backup",
+                  {{"version", version},
+                   {"logical_bytes", report.logical_bytes},
+                   {"stored_bytes", report.stored_bytes},
+                   {"chunks", report.logical_chunks},
+                   {"t1_hits", t1_hits},
+                   {"t2_hits", t2_hits},
+                   {"unique", report.stored_chunks},
+                   {"elapsed_ms", report.elapsed_ms}});
+  }
   return report;
 }
 
 void HiDeStore::evict_cold(DoubleHashFingerprintCache::Table cold,
                            ColdMap& cold_map, VersionId cold_version) {
+  obs::Span evict_span(tracer_, "evict_cold");
+  std::uint64_t chunks_moved = 0, bytes_moved = 0;
   // Evict container by container, chunks in offset order: the adjacency
   // cold chunks had in the active set is preserved in the archival layout,
   // which is what old-version restores have left to lean on.
@@ -154,11 +265,13 @@ void HiDeStore::evict_cold(DoubleHashFingerprintCache::Table cold,
         archival.add_meta(fp, static_cast<std::uint32_t>(bytes.size()));
       }
       cold_map[fp] = archival.id();
-      overheads_.cold_chunks_moved++;
-      overheads_.cold_bytes_moved += bytes.size();
+      chunks_moved++;
+      bytes_moved += bytes.size();
     }
   }
   flush();
+  metrics_.counter("cold_chunks_moved").inc(chunks_moved);
+  metrics_.counter("cold_bytes_moved").inc(bytes_moved);
 }
 
 ChunkLoc HiDeStore::resolve(
@@ -230,6 +343,7 @@ RestoreReport HiDeStore::restore_range(VersionId version,
                                        RestorePolicy& policy,
                                        const ChunkSink& sink) {
   Stopwatch timer;
+  obs::Span restore_span(tracer_, "restore");
   RestoreReport report;
   report.version = version;
 
@@ -242,28 +356,60 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   std::vector<ChunkLoc> stream;
   stream.reserve(recipe->chunk_count());
   std::size_t hops = 0;
-  for (const auto& e : recipe->entries()) {
-    stream.push_back(resolve(e, chain_cache, &hops));
+  {
+    obs::Span resolve_span(tracer_, "resolve_recipe");
+    for (const auto& e : recipe->entries()) {
+      stream.push_back(resolve(e, chain_cache, &hops));
+    }
   }
+  metrics_.counter("restore_chain_hops").inc(hops);
 
   HiDeStoreFetcher fetcher(*store_, pool_);
   const auto reads_before =
       store_->stats().container_reads + pool_.stats().container_reads;
   const bool whole = offset == 0 && length == UINT64_MAX;
-  report.stats =
-      whole ? policy.restore(stream, fetcher, sink)
-            : restore_byte_range(stream, offset, length, policy, fetcher,
-                                 sink);
+  {
+    obs::Span policy_span(tracer_, "policy_restore");
+    report.stats =
+        whole ? policy.restore(stream, fetcher, sink)
+              : restore_byte_range(stream, offset, length, policy, fetcher,
+                                   sink);
+  }
   const auto reads_after =
       store_->stats().container_reads + pool_.stats().container_reads;
   // Policies count fetch() calls themselves; cross-check with the stores.
   report.stats.container_reads = reads_after - reads_before;
   report.elapsed_ms = timer.elapsed_ms();
+  metrics_.counter("restores_completed").inc();
+  metrics_.counter("restored_bytes").inc(report.stats.restored_bytes);
+  metrics_.counter("restored_chunks").inc(report.stats.restored_chunks);
+  metrics_.counter("restore_container_reads")
+      .inc(report.stats.container_reads);
+  metrics_.counter("restore_cache_hits").inc(report.stats.cache_hits);
+  metrics_.counter("restore_cache_evictions")
+      .inc(report.stats.cache_evictions);
+  metrics_.counter("restore_failed_chunks").inc(report.stats.failed_chunks);
+  metrics_.histogram("restore_ms").observe(report.elapsed_ms);
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("restore",
+                  {{"version", version},
+                   {"policy", policy.name()},
+                   {"restored_bytes", report.stats.restored_bytes},
+                   {"container_reads", report.stats.container_reads},
+                   {"cache_hits", report.stats.cache_hits},
+                   {"chain_hops", static_cast<std::uint64_t>(hops)},
+                   {"failed_chunks", report.stats.failed_chunks},
+                   {"elapsed_ms", report.elapsed_ms}});
+  }
   return report;
 }
 
 std::size_t HiDeStore::flatten_recipes() {
-  return hds::flatten_recipes(recipes_, config_.cache_window);
+  obs::Span flatten_span(tracer_, "flatten_recipes");
+  const std::size_t updated =
+      hds::flatten_recipes(recipes_, config_.cache_window);
+  metrics_.counter("recipe_entries_flattened").inc(updated);
+  return updated;
 }
 
 namespace {
@@ -380,6 +526,7 @@ std::unique_ptr<HiDeStore> HiDeStore::load(
   if (inline_archival == 0) {
     // Reopen the on-disk container files and resume the ID counter.
     sys->store_ = make_archival_store(config, /*index_existing=*/true);
+    sys->store_->attach_metrics(sys->metrics_, "store");
   }
   if (!reader.u32(sys->next_version_) || !reader.u32(sys->oldest_version_) ||
       !reader.u64(sys->total_logical_bytes_) ||
@@ -450,11 +597,16 @@ std::unique_ptr<HiDeStore> HiDeStore::load(
     }
   }
   sys->cache_.restore_tables(std::move(t1), std::move(t0));
+  // Like reset_stats() above: loading replays container writes into the
+  // store, which the mirrored counters saw. Start the process clean.
+  sys->metrics_.reset();
+  sys->refresh_gauges();
   return sys;
 }
 
 DeletionReport HiDeStore::delete_versions_up_to(VersionId version) {
   Stopwatch timer;
+  obs::Span delete_span(tracer_, "delete_versions");
   DeletionReport report;
 
   for (VersionId v = oldest_version_;
@@ -479,6 +631,20 @@ DeletionReport HiDeStore::delete_versions_up_to(VersionId version) {
     report.containers_erased++;
   }
   report.elapsed_ms = timer.elapsed_ms();
+  metrics_.counter("versions_deleted").inc(report.versions_deleted);
+  metrics_.counter("containers_erased").inc(report.containers_erased);
+  metrics_.counter("bytes_reclaimed").inc(report.bytes_reclaimed);
+  metrics_.counter("delete_chunks_scanned").inc(report.chunks_scanned);
+  metrics_.histogram("delete_ms").observe(report.elapsed_ms);
+  refresh_gauges();
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("delete_versions",
+                  {{"up_to", version},
+                   {"versions_deleted", report.versions_deleted},
+                   {"containers_erased", report.containers_erased},
+                   {"bytes_reclaimed", report.bytes_reclaimed},
+                   {"elapsed_ms", report.elapsed_ms}});
+  }
   return report;
 }
 

@@ -25,6 +25,8 @@
 #include "core/active_pool.h"
 #include "core/double_cache.h"
 #include "core/recipe_chain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/container_store.h"
 
 namespace hds {
@@ -48,6 +50,10 @@ struct HiDeStoreConfig {
   std::filesystem::path storage_dir;
 };
 
+// Figure 12 view over the metrics registry. The registry is the single
+// source of truth (`recipe_update_ms` / `move_and_merge_ms` histograms and
+// the cold-eviction counters); overheads() materializes this legacy shape
+// from it on demand.
 struct HiDeStoreOverheads {
   // Figure 12: mean per-version latency of the two extra phases.
   MeanAccumulator recipe_update_ms;
@@ -107,9 +113,25 @@ class HiDeStore final : public BackupSystem {
   // erased without scanning a single chunk.
   DeletionReport delete_versions_up_to(VersionId version);
 
-  [[nodiscard]] const HiDeStoreOverheads& overheads() const noexcept {
-    return overheads_;
+  [[nodiscard]] HiDeStoreOverheads overheads() const;
+
+  // --- Observability ---
+  // Per-system metrics registry: dedup counters (t1_hits/t2_hits/
+  // unique_chunks/chunks_processed, index_disk_lookups — permanently 0),
+  // restore counters, phase-latency histograms, and repository gauges. See
+  // README.md "Observability" for the full metric name list.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
   }
+  // Attaches a phase tracer (nullptr detaches). While attached, every
+  // backup/restore/delete records nested spans dumpable as Chrome
+  // trace_event JSON.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  // Recomputes the repository-state gauges (cache memory, container counts,
+  // retained versions, dedup ratio). Called after every mutating operation;
+  // exposed so tools can refresh before exporting.
+  void refresh_gauges();
   [[nodiscard]] const RecipeStore& recipes() const noexcept {
     return recipes_;
   }
@@ -127,6 +149,10 @@ class HiDeStore final : public BackupSystem {
   }
 
  private:
+  // Pre-registers every metric name so exporters always show the complete
+  // set (in particular `index_disk_lookups` at 0 — the §4.1 claim).
+  void register_metrics();
+
   // Moves the cold set to archival containers; fills `cold_map` with their
   // archival homes and tags the new containers with `cold_version`.
   void evict_cold(DoubleHashFingerprintCache::Table cold, ColdMap& cold_map,
@@ -149,7 +175,8 @@ class HiDeStore final : public BackupSystem {
   VersionId oldest_version_ = 1;
   // Archival container → version whose cold chunks it holds (deletion tag).
   std::unordered_map<ContainerId, VersionId> container_version_;
-  HiDeStoreOverheads overheads_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hds

@@ -1,0 +1,76 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hds::obs {
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "off";
+}
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  value = buf;
+}
+
+Logger::Logger() {
+  const char* env = std::getenv("HDS_LOG");
+  level_ = static_cast<int>(env ? parse_log_level(env) : LogLevel::kOff);
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) const {
+  if (!enabled(level)) return;
+  std::string line = "[hds] level=";
+  line += log_level_name(level);
+  line += " event=";
+  line += event;
+  for (const auto& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    // Quote values with spaces so the line stays machine-splittable.
+    if (field.value.find(' ') != std::string::npos) {
+      line += '"';
+      line += field.value;
+      line += '"';
+    } else {
+      line += field.value;
+    }
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+}
+
+}  // namespace hds::obs

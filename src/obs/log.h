@@ -1,0 +1,105 @@
+// Structured logger: leveled key=value events on stderr, controlled by the
+// HDS_LOG environment variable and OFF by default — tier-1 test and bench
+// output is byte-identical unless a user opts in:
+//
+//   HDS_LOG=info  ./hds_tool backup repo src
+//   → [hds] level=info event=backup version=3 logical_bytes=1048576 ...
+//
+// Accepted HDS_LOG values: trace, debug, info, warn, error (threshold), or
+// off / unset (silent). Call sites should guard with enabled() so field
+// formatting costs nothing when logging is off.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace hds::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// "trace"/"debug"/"info"/"warn"/"error" (case-insensitive); anything else —
+// including empty — means off.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+[[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+
+// One key=value pair; numeric values are formatted at construction, which
+// is why call sites guard on enabled() first.
+struct LogField {
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view k, T v) : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false") {}
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  // Reads HDS_LOG; unset or unrecognized → off.
+  Logger();
+  explicit Logger(LogLevel level) : level_(static_cast<int>(level)) {}
+
+  // Process-wide logger used by the instrumented pipeline.
+  static Logger& global();
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= level_ &&
+           level_ < static_cast<int>(LogLevel::kOff);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_);
+  }
+  void set_level(LogLevel level) noexcept {
+    level_ = static_cast<int>(level);
+  }
+  // Redirect output (tests); default is stderr.
+  void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {}) const;
+
+ private:
+  int level_ = static_cast<int>(LogLevel::kOff);
+  std::FILE* sink_ = stderr;
+};
+
+// Convenience wrappers over the global logger.
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return Logger::global().enabled(level);
+}
+inline void log_debug(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kDebug, event, fields);
+}
+inline void log_info(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kInfo, event, fields);
+}
+inline void log_warn(std::string_view event,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kWarn, event, fields);
+}
+inline void log_error(std::string_view event,
+                      std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kError, event, fields);
+}
+
+}  // namespace hds::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace hds::obs {
+
+namespace {
+
+std::uint64_t current_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+// --- Span ---
+
+Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  name_ = name;
+  start_us_ = tracer_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      name_(std::move(other.name_)),
+      start_us_(other.start_us_) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    name_ = std::move(other.name_);
+    start_us_ = other.start_us_;
+  }
+  return *this;
+}
+
+void Span::end() noexcept {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  try {
+    tracer->record(std::move(name_), start_us_,
+                   tracer->now_us() - start_us_);
+  } catch (...) {
+    // Tracing must never take down the pipeline.
+  }
+}
+
+// --- Tracer ---
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void Tracer::record(std::string name, double ts_us, double dur_us) {
+  std::lock_guard lock(mu_);
+  events_.push_back(
+      TraceEvent{std::move(name), ts_us, dur_us, current_tid()});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::string Tracer::to_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out += ",";
+    out += "\n{\"name\":\"" + json_escape(e.name) +
+           "\",\"cat\":\"hds\",\"ph\":\"X\",\"ts\":" + format_us(e.ts_us) +
+           ",\"dur\":" + format_us(e.dur_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::dump(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace hds::obs

@@ -1,0 +1,80 @@
+// Phase tracer — RAII spans recording nested begin/end timestamps of the
+// backup/restore pipeline phases (dedup, cold-chunk eviction, recipe
+// update, recipe resolution, policy restore, ...).
+//
+// Spans are cheap when no tracer is attached: a Span constructed with a
+// null Tracer* is a no-op, so instrumented code can unconditionally open
+// spans and pay nothing unless tracing was requested (hds_tool
+// --trace-out=<file>).
+//
+// The recorded timeline dumps as Chrome trace_event JSON ("X" complete
+// events, microsecond timestamps) loadable in chrome://tracing or Perfetto.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hds::obs {
+
+class Tracer;
+
+// RAII phase marker: records a complete event on destruction (or end()).
+// Movable so it can be returned from helpers; copying is disabled.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string_view name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { end(); }
+
+  // Finishes the span early; idempotent.
+  void end() noexcept;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  double start_us_ = 0.0;
+};
+
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // microseconds since the tracer's origin
+  double dur_us = 0.0;  // duration in microseconds
+  std::uint64_t tid = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  [[nodiscard]] Span span(std::string_view name) { return {this, name}; }
+
+  // Microseconds since this tracer was constructed.
+  [[nodiscard]] double now_us() const noexcept;
+
+  void record(std::string name, double ts_us, double dur_us);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
+  //  "tid":...},...],"displayTimeUnit":"ms"}
+  [[nodiscard]] std::string to_json() const;
+  // Writes to_json() to `path`; false on I/O failure.
+  bool dump(const std::filesystem::path& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hds::obs

@@ -17,6 +17,10 @@ class ChunkCache {
     evict_to_fit();
   }
 
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+
   [[nodiscard]] const std::vector<std::uint8_t>* get(const Fingerprint& fp) {
     const auto it = entries_.find(fp);
     if (it == entries_.end()) return nullptr;
@@ -48,11 +52,13 @@ class ChunkCache {
       used_ -= it->second.bytes.size();
       entries_.erase(it);
       lru_.pop_back();
+      evictions_++;
     }
   }
 
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;
+  std::uint64_t evictions_ = 0;
   std::list<Fingerprint> lru_;
   std::unordered_map<Fingerprint, Entry> entries_;
 };
@@ -177,6 +183,7 @@ RestoreStats AlaccRestore::restore(std::span<const ChunkLoc> stream,
       epoch_reads = 0;
     }
   }
+  stats.cache_evictions = cache.evictions();
   return stats;
 }
 

@@ -55,6 +55,7 @@ RestoreStats ContainerLruRestore::restore(std::span<const ChunkLoc> stream,
         while (cache.size() > capacity_) {
           cache.erase(lru.back());
           lru.pop_back();
+          stats.cache_evictions++;
         }
       }
     }
@@ -87,6 +88,7 @@ RestoreStats ChunkLruRestore::restore(std::span<const ChunkLoc> stream,
       cached_bytes -= it->second.bytes.size();
       cache.erase(it);
       lru.pop_back();
+      stats.cache_evictions++;
     }
   };
 

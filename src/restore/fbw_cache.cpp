@@ -63,6 +63,7 @@ RestoreStats FbwRestore::restore(std::span<const ChunkLoc> stream,
       const auto farthest = std::prev(by_next_use.end());
       if (farthest->first <= next) return;  // victim is more useful
       erase_entry(farthest->second);
+      stats.cache_evictions++;
     }
     // Keys collide only for the same fingerprint at the same position, and
     // duplicates were filtered above, so insertion always succeeds.

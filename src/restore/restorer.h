@@ -48,6 +48,10 @@ struct RestoreStats {
   std::uint64_t restored_chunks = 0;
   std::uint64_t container_reads = 0;
   std::uint64_t cache_hits = 0;
+  // Entries (containers or chunks, per policy) dropped to stay within the
+  // memory budget. 0 for policies without an eviction decision (nocache,
+  // FAA's sliding area).
+  std::uint64_t cache_evictions = 0;
   // Chunks whose container could not be fetched or did not hold them
   // (corrupt or missing on-disk data). Such chunks are delivered to the
   // sink as empty spans; the restore continues so the damage is bounded

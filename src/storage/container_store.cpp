@@ -17,6 +17,10 @@ void ContainerStore::put(Container container) {
   const ContainerId id = container.id();
   stats_.container_writes++;
   stats_.bytes_written += container.data_size();
+  if (m_writes_ != nullptr) {
+    m_writes_->inc();
+    m_bytes_written_->inc(container.data_size());
+  }
   do_write(id, std::move(container));
 }
 
@@ -25,11 +29,29 @@ std::shared_ptr<const Container> ContainerStore::read(ContainerId id) {
   if (container) {
     stats_.container_reads++;
     stats_.bytes_read += container->data_size();
+    if (m_reads_ != nullptr) {
+      m_reads_->inc();
+      m_bytes_read_->inc(container->data_size());
+    }
   }
   return container;
 }
 
-bool ContainerStore::erase(ContainerId id) { return do_erase(id); }
+bool ContainerStore::erase(ContainerId id) {
+  const bool erased = do_erase(id);
+  if (erased && m_erases_ != nullptr) m_erases_->inc();
+  return erased;
+}
+
+void ContainerStore::attach_metrics(obs::MetricsRegistry& registry,
+                                    std::string_view prefix) {
+  const std::string p(prefix);
+  m_writes_ = &registry.counter(p + "_container_writes");
+  m_reads_ = &registry.counter(p + "_container_reads");
+  m_erases_ = &registry.counter(p + "_container_erases");
+  m_bytes_written_ = &registry.counter(p + "_bytes_written");
+  m_bytes_read_ = &registry.counter(p + "_bytes_read");
+}
 
 // --- MemoryContainerStore ---
 

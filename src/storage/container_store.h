@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/container.h"
 
 namespace hds {
@@ -57,6 +59,12 @@ class ContainerStore {
   [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
+  // Mirrors every I/O into `<prefix>_container_{writes,reads,erases}` and
+  // `<prefix>_bytes_{written,read}` counters of `registry`. The registry
+  // must outlive this store.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      std::string_view prefix);
+
   [[nodiscard]] ContainerId next_id() const noexcept { return next_id_; }
 
   // Persistence support: restores the ID counter of a reloaded store so
@@ -71,6 +79,11 @@ class ContainerStore {
  private:
   ContainerId next_id_ = 1;  // 0 is reserved for "active" in recipes
   IoStats stats_;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
 };
 
 class MemoryContainerStore final : public ContainerStore {

@@ -243,6 +243,32 @@ TEST(MeanAccumulator, EmptyIsZero) {
   MeanAccumulator acc;
   EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
   EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(MeanAccumulator, SumAndMerge) {
+  MeanAccumulator a;
+  a.add(1.0);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+
+  MeanAccumulator b;
+  b.add(-2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  // Merging an empty accumulator changes nothing.
+  a.merge(MeanAccumulator{});
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+
+  const auto parts = MeanAccumulator::from_parts(10.0, 4, 1.0, 4.0);
+  EXPECT_DOUBLE_EQ(parts.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(parts.min(), 1.0);
+  EXPECT_DOUBLE_EQ(parts.max(), 4.0);
 }
 
 TEST(TablePrinter, FormatsWithoutCrashing) {
