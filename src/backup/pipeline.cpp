@@ -9,6 +9,7 @@
 #include "index/sparse_index.h"
 #include "restore/faa.h"
 #include "restore/partial.h"
+#include "restore/read_ahead.h"
 
 namespace hds {
 
@@ -50,11 +51,14 @@ ContainerId DedupPipeline::store_chunk(const ChunkRecord& chunk) {
     open_valid_ = true;
   }
   bool ok;
-  if (config_.materialize_contents) {
+  if (!config_.materialize_contents) {
+    ok = open_.add_meta(chunk.fp, chunk.size);
+  } else if (chunk.data) {
+    // Real bytes: copy straight out of the shared ingest buffer.
+    ok = open_.add(chunk.fp, chunk.bytes());
+  } else {
     const auto bytes = chunk.materialize();
     ok = open_.add(chunk.fp, bytes);
-  } else {
-    ok = open_.add_meta(chunk.fp, chunk.size);
   }
   if (!ok) {
     // A freshly rolled container rejecting a chunk means the chunk exceeds
@@ -182,12 +186,24 @@ RestoreReport DedupPipeline::restore_range(VersionId version,
     stream.push_back(ChunkLoc{e.fp, e.size, e.cid, /*active=*/false});
   }
 
-  StoreFetcher fetcher(*store_);
+  StoreFetcher direct(*store_);
+  ContainerFetcher* fetcher = &direct;
   const bool whole = offset == 0 && length == UINT64_MAX;
+  std::unique_ptr<ReadAheadFetcher> read_ahead;
+  // Partial restores walk a byte range of the stream; prefetching the whole
+  // recipe would read containers the range never touches.
+  if (read_ahead_depth_ > 0 && whole) {
+    ReadAheadConfig ra_config;
+    ra_config.depth = read_ahead_depth_;
+    read_ahead =
+        std::make_unique<ReadAheadFetcher>(direct, stream, ra_config);
+    fetcher = read_ahead.get();
+  }
   report.stats =
-      whole ? policy.restore(stream, fetcher, sink)
-            : restore_byte_range(stream, offset, length, policy, fetcher,
+      whole ? policy.restore(stream, *fetcher, sink)
+            : restore_byte_range(stream, offset, length, policy, *fetcher,
                                  sink);
+  if (read_ahead) read_ahead->stop();
   report.elapsed_ms = timer.elapsed_ms();
   return report;
 }

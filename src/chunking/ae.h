@@ -20,6 +20,9 @@ class AeChunker final : public Chunker {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ae";
   }
+  [[nodiscard]] std::size_t max_chunk_size() const noexcept override {
+    return max_size_;
+  }
 
  private:
   std::size_t window_;  // right-hand window width (≈ avg/(e-1))

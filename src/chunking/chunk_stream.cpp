@@ -4,16 +4,70 @@
 
 namespace hds {
 
+namespace detail {
+
+std::vector<IngestBatch> make_batches(std::span<const std::size_t> lengths,
+                                      std::size_t batch_bytes) {
+  std::vector<IngestBatch> batches;
+  IngestBatch current;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (current.chunk_count > 0 &&
+        current.byte_len + lengths[i] > batch_bytes) {
+      batches.push_back(current);
+      current = IngestBatch{i, 0, pos, 0};
+    }
+    current.chunk_count++;
+    current.byte_len += lengths[i];
+    pos += lengths[i];
+  }
+  if (current.chunk_count > 0) batches.push_back(current);
+  return batches;
+}
+
+VersionStream pack_batch(std::span<const std::uint8_t> bytes,
+                         std::span<const std::size_t> lengths) {
+  const auto buffer = std::make_shared<const std::vector<std::uint8_t>>(
+      bytes.begin(), bytes.end());
+  VersionStream out;
+  out.chunks.reserve(lengths.size());
+  std::size_t offset = 0;
+  for (const std::size_t len : lengths) {
+    ChunkRecord rec;
+    rec.size = static_cast<std::uint32_t>(len);
+    rec.data = buffer;
+    rec.data_offset = static_cast<std::uint32_t>(offset);
+    rec.fp = Sha1::digest(std::span(buffer->data() + offset, len));
+    out.chunks.push_back(std::move(rec));
+    offset += len;
+  }
+  return out;
+}
+
+void append_stream(VersionStream& dst, VersionStream&& src) {
+  if (dst.chunks.empty()) {
+    dst.chunks = std::move(src.chunks);
+    return;
+  }
+  dst.chunks.reserve(dst.chunks.size() + src.chunks.size());
+  for (auto& rec : src.chunks) dst.chunks.push_back(std::move(rec));
+  src.chunks.clear();
+}
+
+}  // namespace detail
+
 VersionStream chunk_bytes(const Chunker& chunker,
                           std::span<const std::uint8_t> data) {
+  std::vector<std::size_t> lengths;
+  chunker.chunk(data, lengths);
   VersionStream stream;
-  for (auto piece : chunker.split(data)) {
-    ChunkRecord rec;
-    rec.fp = Sha1::digest(piece);
-    rec.size = static_cast<std::uint32_t>(piece.size());
-    rec.data = std::make_shared<const std::vector<std::uint8_t>>(
-        piece.begin(), piece.end());
-    stream.chunks.push_back(std::move(rec));
+  stream.chunks.reserve(lengths.size());
+  for (const auto& batch : detail::make_batches(lengths, kIngestBatchBytes)) {
+    detail::append_stream(
+        stream,
+        detail::pack_batch(
+            data.subspan(batch.byte_begin, batch.byte_len),
+            std::span(lengths).subspan(batch.chunk_begin, batch.chunk_count)));
   }
   return stream;
 }

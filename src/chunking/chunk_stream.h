@@ -2,17 +2,53 @@
 // chunk → SHA-1 → ChunkRecord with shared content bytes.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "chunking/chunker.h"
 #include "common/chunk.h"
 
 namespace hds {
 
+// Records are packed in batches of roughly this many bytes; all chunks of a
+// batch share one backing buffer (ChunkRecord::data + data_offset) instead
+// of owning per-chunk copies.
+inline constexpr std::size_t kIngestBatchBytes = 1024 * 1024;
+
 // Chunks `data` with `chunker` and fingerprints each chunk with SHA-1.
-// The returned records own copies of their bytes (shared_ptr), so the input
-// buffer may be discarded afterwards.
+// The returned records own copies of their bytes (shared per batch), so the
+// input buffer may be discarded afterwards. Single-threaded reference path;
+// ParallelChunkPipeline (parallel_chunk.h) produces the identical stream on
+// many threads.
 [[nodiscard]] VersionStream chunk_bytes(const Chunker& chunker,
                                         std::span<const std::uint8_t> data);
+
+namespace detail {
+
+// A run of consecutive chunks packed against one shared buffer.
+struct IngestBatch {
+  std::size_t chunk_begin = 0;  // index into the chunk-length list
+  std::size_t chunk_count = 0;
+  std::size_t byte_begin = 0;  // offset into the ingest buffer
+  std::size_t byte_len = 0;
+};
+
+// Greedily groups consecutive chunk lengths into batches of at most
+// `batch_bytes` (always at least one chunk per batch). Shared by the serial
+// and parallel ingest paths so both produce the same buffer layout.
+[[nodiscard]] std::vector<IngestBatch> make_batches(
+    std::span<const std::size_t> lengths, std::size_t batch_bytes);
+
+// Fingerprints the chunks covering `bytes` (sum of `lengths` must equal
+// bytes.size()) and packs them into records backed by ONE shared copy of
+// `bytes`. Pure function of its inputs — safe to call from worker threads.
+[[nodiscard]] VersionStream pack_batch(std::span<const std::uint8_t> bytes,
+                                       std::span<const std::size_t> lengths);
+
+// Moves every record of `src` onto the end of `dst`.
+void append_stream(VersionStream& dst, VersionStream&& src);
+
+}  // namespace detail
 
 }  // namespace hds

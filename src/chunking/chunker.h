@@ -31,10 +31,19 @@ class Chunker {
 
   // Appends the lengths of the chunks covering `data` (sum == data.size()).
   // The final chunk may be shorter than min_size.
+  // Thread-safety contract: chunk() keeps all rolling state in locals, so
+  // one Chunker may be used from many threads concurrently (the parallel
+  // ingest pipeline relies on this).
   virtual void chunk(std::span<const std::uint8_t> data,
                      std::vector<std::size_t>& lengths) const = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  // Upper bound on any produced chunk length. Every implementation decides a
+  // chunk's cut point from at most this many bytes past the chunk start (and
+  // resets its rolling state at each boundary), which is what makes
+  // segment-parallel chunking exactly reproducible (parallel_chunk.h).
+  [[nodiscard]] virtual std::size_t max_chunk_size() const noexcept = 0;
 
   // Convenience: returns chunk views into `data`.
   [[nodiscard]] std::vector<std::span<const std::uint8_t>> split(

@@ -19,6 +19,9 @@ class FastCdcChunker final : public Chunker {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fastcdc";
   }
+  [[nodiscard]] std::size_t max_chunk_size() const noexcept override {
+    return max_size_;
+  }
 
  private:
   std::size_t min_size_;

@@ -25,6 +25,9 @@ class FixedChunker final : public Chunker {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fixed";
   }
+  [[nodiscard]] std::size_t max_chunk_size() const noexcept override {
+    return size_;
+  }
 
  private:
   std::size_t size_;

@@ -1,0 +1,179 @@
+#include "chunking/parallel_chunk.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stats.h"
+#include "parallel/ordered_merge.h"
+#include "parallel/thread_pool.h"
+
+namespace hds {
+
+namespace {
+
+// One segment's speculative scan: candidate cut positions (absolute, sorted)
+// produced by chunking [start, window_end) in isolation.
+struct SegmentScan {
+  std::size_t start = 0;
+  std::size_t window_end = 0;
+  std::vector<std::size_t> cuts;
+};
+
+}  // namespace
+
+ParallelChunkPipeline::ParallelChunkPipeline(const Chunker& chunker,
+                                             const ParallelChunkConfig& config)
+    : chunker_(chunker), config_(config) {
+  threads_ = config_.threads == 0 ? parallel::default_thread_count()
+                                  : config_.threads;
+  if (config_.batch_bytes == 0) config_.batch_bytes = kIngestBatchBytes;
+}
+
+VersionStream ParallelChunkPipeline::run(
+    std::span<const std::uint8_t> data) const {
+  const std::size_t max_chunk = std::max<std::size_t>(
+      1, chunker_.max_chunk_size());
+  const std::size_t segment =
+      std::max(config_.segment_bytes, 4 * max_chunk);
+  if (threads_ <= 1 || data.size() <= segment) {
+    return chunk_bytes(chunker_, data);
+  }
+
+  obs::Span pipeline_span(config_.tracer, "parallel_chunk");
+  const std::size_t total = data.size();
+  const std::size_t n_segments = (total + segment - 1) / segment;
+  parallel::ThreadPool pool(std::min(threads_, n_segments));
+  obs::Gauge* depth_gauge =
+      config_.metrics ? &config_.metrics->gauge("ingest_queue_depth")
+                      : nullptr;
+  if (depth_gauge != nullptr) pool.attach_depth_gauge(depth_gauge);
+
+  // --- Phase 1: speculative per-segment scans (parallel) ---
+  std::vector<SegmentScan> scans(n_segments);
+  {
+    obs::Span scan_span(config_.tracer, "ingest_scan");
+    for (std::size_t s = 0; s < n_segments; ++s) {
+      pool.submit([&, s] {
+        Stopwatch timer;
+        SegmentScan& scan = scans[s];
+        scan.start = s * segment;
+        scan.window_end = std::min(total, scan.start + segment + max_chunk);
+        std::vector<std::size_t> lengths;
+        chunker_.chunk(
+            data.subspan(scan.start, scan.window_end - scan.start), lengths);
+        scan.cuts.reserve(lengths.size());
+        std::size_t pos = scan.start;
+        for (const std::size_t len : lengths) {
+          pos += len;
+          scan.cuts.push_back(pos);
+        }
+        if (config_.metrics) {
+          config_.metrics->histogram("ingest_scan_ms")
+              .observe(timer.elapsed_ms());
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // --- Phase 2: boundary merge (sequential) ---
+  // Invariant: `cur` is always a true (serial) boundary. A candidate cut is
+  // accepted only when its chunk start is a true boundary AND the decision
+  // window [start, start + max_chunk) fit inside the scan window, so every
+  // accepted length provably equals the serial one.
+  std::vector<std::size_t> lengths;
+  lengths.reserve(total / std::max<std::size_t>(1, max_chunk / 4) + 16);
+  std::uint64_t fixups = 0;
+  {
+    obs::Span merge_span(config_.tracer, "ingest_merge");
+    std::vector<std::size_t> tmp;
+    std::size_t cur = 0;
+    while (cur < total) {
+      const std::size_t j = std::min(cur / segment, n_segments - 1);
+      const SegmentScan& scan = scans[j];
+      const bool synced =
+          cur == scan.start ||
+          std::binary_search(scan.cuts.begin(), scan.cuts.end(), cur);
+      if (synced) {
+        auto it = std::upper_bound(scan.cuts.begin(), scan.cuts.end(), cur);
+        std::size_t prev = cur;
+        for (; it != scan.cuts.end(); ++it) {
+          const bool decided = prev + max_chunk <= scan.window_end ||
+                               scan.window_end == total;
+          if (!decided) break;
+          lengths.push_back(*it - prev);
+          prev = *it;
+          // Once past the segment's own span, the next segment's scan (or a
+          // fixup) takes over.
+          if (prev >= scan.start + segment) break;
+        }
+        if (prev != cur) {
+          cur = prev;
+          continue;
+        }
+      }
+      // Fixup: re-scan exactly one chunk serially from the true boundary.
+      // All chunkers force a cut within max_chunk bytes, so a window of
+      // min(max_chunk, rest) reproduces the serial decision exactly.
+      tmp.clear();
+      chunker_.chunk(data.subspan(cur, std::min(max_chunk, total - cur)),
+                     tmp);
+      lengths.push_back(tmp.front());
+      cur += tmp.front();
+      ++fixups;
+    }
+  }
+  if (config_.metrics) {
+    config_.metrics->counter("ingest_segments").inc(n_segments);
+    config_.metrics->counter("ingest_fixup_chunks").inc(fixups);
+    config_.metrics->counter("ingest_bytes").inc(total);
+  }
+
+  // --- Phase 3: fingerprint + pack (parallel), ordered reassembly ---
+  const auto batches = detail::make_batches(lengths, config_.batch_bytes);
+  if (config_.metrics) {
+    config_.metrics->counter("ingest_batches").inc(batches.size());
+  }
+  obs::Span hash_span(config_.tracer, "ingest_fingerprint");
+  parallel::OrderedMerge<VersionStream> merge(2 * pool.thread_count());
+  // Submission gets its own thread so the consumer below drains the merge
+  // concurrently. Submitting from the consumer thread would deadlock once
+  // every worker blocks in the reorder window and the task queue fills —
+  // nobody would be left to call next().
+  std::thread producer([&] {
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      pool.submit([&, b] {
+        Stopwatch timer;
+        const auto& batch = batches[b];
+        auto part = detail::pack_batch(
+            data.subspan(batch.byte_begin, batch.byte_len),
+            std::span(lengths).subspan(batch.chunk_begin, batch.chunk_count));
+        if (config_.metrics) {
+          config_.metrics->histogram("ingest_pack_ms")
+              .observe(timer.elapsed_ms());
+        }
+        merge.put(b, std::move(part));
+      });
+    }
+  });
+  VersionStream stream;
+  stream.chunks.reserve(lengths.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    auto part = merge.next();
+    if (!part) break;  // unreachable unless the merge is closed early
+    detail::append_stream(stream, std::move(*part));
+  }
+  producer.join();
+  pool.wait_idle();
+  return stream;
+}
+
+VersionStream chunk_bytes_parallel(const Chunker& chunker,
+                                   std::span<const std::uint8_t> data,
+                                   std::size_t threads) {
+  ParallelChunkConfig config;
+  config.threads = threads;
+  return ParallelChunkPipeline(chunker, config).run(data);
+}
+
+}  // namespace hds

@@ -1,0 +1,75 @@
+// ParallelChunkPipeline — multi-threaded ingest front end (chunk + SHA-1)
+// whose output is BIT-IDENTICAL to the serial chunk_bytes() path.
+//
+// Destor structures backup as concurrent phases joined by queues; this is
+// that structure for the CPU-heavy front end, built so that parallelism
+// never changes a boundary or a fingerprint:
+//
+//   1. Speculative scan (parallel). The input is split into large segments;
+//      each worker runs the chunker over [segment_start, segment_end +
+//      max_chunk_size) and records candidate cut positions. Candidates are
+//      exact *provided the chunk they terminate starts at a true boundary*,
+//      because every Chunker resets its rolling state at a boundary and
+//      decides a cut from at most max_chunk_size() bytes past the chunk
+//      start.
+//   2. Boundary merge (sequential, cheap). Walk segments in order carrying
+//      the current true boundary. When it coincides with a segment's scan
+//      start or one of its candidates, the segment's remaining candidates
+//      are accepted wholesale ("resync"). Otherwise one chunk is re-scanned
+//      serially (a "fixup", normally 0–2 per segment since CDC boundaries
+//      depend only on a small trailing window).
+//   3. Fingerprint + pack (parallel). The merged chunk list is cut into
+//      ~1 MiB batches; workers SHA-1 each batch into records backed by one
+//      shared buffer per batch, and an OrderedMerge reassembles the
+//      VersionStream in recipe order while workers are still hashing.
+//
+// The same batch layout is used by the serial path, so recipes, dedup
+// ratios, and every downstream figure are unchanged at any thread count
+// (asserted by ParallelChunk.* tests across all five chunkers).
+#pragma once
+
+#include <span>
+
+#include "chunking/chunk_stream.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hds {
+
+struct ParallelChunkConfig {
+  // Worker threads; 0 means parallel::default_thread_count(). 1 falls back
+  // to the serial path.
+  std::size_t threads = 0;
+  // Speculative scan granularity; clamped to ≥ 4 × max_chunk_size().
+  std::size_t segment_bytes = 4 * 1024 * 1024;
+  // Fingerprint task granularity (also the shared-buffer size).
+  std::size_t batch_bytes = kIngestBatchBytes;
+  // Optional observability: ingest_* counters/histograms and the
+  // ingest_queue_depth gauge land in `metrics`; phase spans in `tracer`.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+class ParallelChunkPipeline {
+ public:
+  explicit ParallelChunkPipeline(const Chunker& chunker,
+                                 const ParallelChunkConfig& config = {});
+
+  // Chunks and fingerprints `data`. Deterministic: equal input and chunker
+  // produce an equal stream at every thread count.
+  [[nodiscard]] VersionStream run(std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+ private:
+  const Chunker& chunker_;
+  ParallelChunkConfig config_;
+  std::size_t threads_;
+};
+
+// Convenience wrapper: chunk_bytes() on `threads` workers.
+[[nodiscard]] VersionStream chunk_bytes_parallel(
+    const Chunker& chunker, std::span<const std::uint8_t> data,
+    std::size_t threads);
+
+}  // namespace hds

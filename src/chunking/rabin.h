@@ -47,6 +47,9 @@ class RabinChunker final : public Chunker {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rabin";
   }
+  [[nodiscard]] std::size_t max_chunk_size() const noexcept override {
+    return params_.max_size;
+  }
 
  private:
   ChunkerParams params_;

@@ -21,6 +21,9 @@ class TttdChunker final : public Chunker {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "tttd";
   }
+  [[nodiscard]] std::size_t max_chunk_size() const noexcept override {
+    return max_size_;
+  }
 
  private:
   std::size_t min_size_;

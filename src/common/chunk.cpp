@@ -21,7 +21,10 @@ void generate_chunk_content(std::uint64_t seed, std::uint32_t size,
 }
 
 std::vector<std::uint8_t> ChunkRecord::materialize() const {
-  if (data) return *data;
+  if (data) {
+    const auto view = bytes();
+    return {view.begin(), view.end()};
+  }
   std::vector<std::uint8_t> bytes(size);
   generate_chunk_content(content_seed, size, bytes.data());
   return bytes;

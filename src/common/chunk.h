@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/fingerprint.h"
@@ -25,8 +26,19 @@ struct ChunkRecord {
   std::uint32_t size = 0;
   // Generator seed; meaningful only when `data` is null.
   std::uint64_t content_seed = 0;
-  // Real bytes (shared across duplicate records); null for synthetic chunks.
+  // Backing buffer for real bytes; null for synthetic chunks. The chunk
+  // occupies bytes [data_offset, data_offset + size) of the buffer, so one
+  // buffer is shared by every chunk cut from the same ingest batch instead
+  // of each record owning a private copy (the buffer lives until the last
+  // record referencing it dies).
   std::shared_ptr<const std::vector<std::uint8_t>> data;
+  std::uint32_t data_offset = 0;
+
+  // The real content bytes; empty span for synthetic chunks.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    if (!data) return {};
+    return {data->data() + data_offset, size};
+  }
 
   // Returns the chunk content, synthesizing it from the seed if needed.
   [[nodiscard]] std::vector<std::uint8_t> materialize() const;

@@ -22,11 +22,14 @@ Container& ActiveContainerPool::open_container(std::size_t chunk_size) {
 ContainerId ActiveContainerPool::add(const ChunkRecord& chunk) {
   auto& container = open_container(chunk.size);
   bool ok;
-  if (materialize_) {
+  if (!materialize_) {
+    ok = container.add_meta(chunk.fp, chunk.size);
+  } else if (chunk.data) {
+    // Real bytes: copy straight out of the shared ingest buffer.
+    ok = container.add(chunk.fp, chunk.bytes());
+  } else {
     const auto bytes = chunk.materialize();
     ok = container.add(chunk.fp, bytes);
-  } else {
-    ok = container.add_meta(chunk.fp, chunk.size);
   }
   if (!ok) throw std::logic_error("active pool: duplicate or oversize chunk");
   index_[chunk.fp] = container.id();

@@ -9,6 +9,7 @@
 #include "obs/log.h"
 #include "restore/faa.h"
 #include "restore/partial.h"
+#include "restore/read_ahead.h"
 
 namespace hds {
 
@@ -65,6 +66,8 @@ void HiDeStore::register_metrics() {
         "restore_container_reads", "restore_cache_hits",
         "restore_cache_evictions", "restore_chain_hops",
         "restore_failed_chunks", "recipe_entries_flattened",
+        "restore_prefetch_issued", "restore_prefetch_hits",
+        "restore_prefetch_misses", "restore_prefetch_wasted",
         // Deletion (§4.5): delete_chunks_scanned stays 0 — no GC.
         "versions_deleted", "containers_erased", "bytes_reclaimed",
         "delete_chunks_scanned"}) {
@@ -364,21 +367,42 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   }
   metrics_.counter("restore_chain_hops").inc(hops);
 
-  HiDeStoreFetcher fetcher(*store_, pool_);
+  HiDeStoreFetcher direct(*store_, pool_);
+  ContainerFetcher* fetcher = &direct;
+  const bool whole = offset == 0 && length == UINT64_MAX;
+  // Sample BEFORE the prefetch thread starts: it issues counted reads
+  // immediately.
   const auto reads_before =
       store_->stats().container_reads + pool_.stats().container_reads;
-  const bool whole = offset == 0 && length == UINT64_MAX;
+  std::unique_ptr<ReadAheadFetcher> read_ahead;
+  if (read_ahead_depth_ > 0 && whole) {
+    ReadAheadConfig ra_config;
+    ra_config.depth = read_ahead_depth_;
+    ra_config.metrics = &metrics_;
+    read_ahead =
+        std::make_unique<ReadAheadFetcher>(direct, stream, ra_config);
+    fetcher = read_ahead.get();
+  }
   {
     obs::Span policy_span(tracer_, "policy_restore");
     report.stats =
-        whole ? policy.restore(stream, fetcher, sink)
-              : restore_byte_range(stream, offset, length, policy, fetcher,
+        whole ? policy.restore(stream, *fetcher, sink)
+              : restore_byte_range(stream, offset, length, policy, *fetcher,
                                    sink);
+  }
+  std::uint64_t wasted = 0;
+  if (read_ahead) {
+    read_ahead->stop();
+    wasted = read_ahead->wasted_reads();
+    metrics_.counter("restore_prefetch_wasted").inc(wasted);
   }
   const auto reads_after =
       store_->stats().container_reads + pool_.stats().container_reads;
   // Policies count fetch() calls themselves; cross-check with the stores.
-  report.stats.container_reads = reads_after - reads_before;
+  // Wasted prefetches (containers read ahead that the policy's own cache
+  // made unnecessary) are excluded so the reported count equals the serial
+  // run's — they are tracked by restore_prefetch_wasted instead.
+  report.stats.container_reads = reads_after - reads_before - wasted;
   report.elapsed_ms = timer.elapsed_ms();
   metrics_.counter("restores_completed").inc();
   metrics_.counter("restored_bytes").inc(report.stats.restored_bytes);

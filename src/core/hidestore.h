@@ -96,6 +96,20 @@ class HiDeStore final : public BackupSystem {
   // Runs Algorithm 1 offline; returns entries rewritten.
   std::size_t flatten_recipes();
 
+  // Enables restore read-ahead (read_ahead.h): a prefetch thread issues
+  // archival-container reads ahead of the restore policy into a bounded
+  // buffer of `depth` containers. Active-pool containers are never
+  // prefetched (the pool is consumer-thread-only). 0 disables. Reported
+  // container-read counts exclude wasted prefetches, so Fig 11 numbers are
+  // unchanged; waste is exported as restore_prefetch_wasted. Not persisted
+  // by save() — a runtime tuning knob, not repository state.
+  void set_read_ahead(std::size_t depth) noexcept {
+    read_ahead_depth_ = depth;
+  }
+  [[nodiscard]] std::size_t read_ahead() const noexcept {
+    return read_ahead_depth_;
+  }
+
   // --- Repository lifecycle ---
   // Persists the complete system state (config, recipes, active pool,
   // archival containers, deletion tags) into `dir` as a single CRC-guarded
@@ -173,6 +187,7 @@ class HiDeStore final : public BackupSystem {
   RecipeStore recipes_;
   VersionId next_version_ = 1;
   VersionId oldest_version_ = 1;
+  std::size_t read_ahead_depth_ = 0;
   // Archival container → version whose cold chunks it holds (deletion tag).
   std::unordered_map<ContainerId, VersionId> container_version_;
   obs::MetricsRegistry metrics_;

@@ -1,0 +1,124 @@
+// BoundedQueue — a mutex/condvar MPMC queue with a hard capacity.
+//
+// The capacity is the backpressure mechanism of every pipeline stage built on
+// top of it: a fast producer blocks in push() instead of ballooning memory,
+// exactly like Destor's fixed-size inter-phase queues. close() releases all
+// waiters so pipelines shut down without sentinel values:
+//   * push() on a closed queue returns false and drops the item;
+//   * pop() drains remaining items, then returns nullopt once closed+empty.
+//
+// All operations are thread-safe; the queue never reallocates while full
+// (std::deque segments), so push/pop cost is one lock + one move.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace hds::parallel {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping `item`) if the
+  // queue was closed before space appeared.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    publish_depth(items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    publish_depth(items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. Returns nullopt only when the queue is
+  // closed AND drained, so no pushed item is ever lost.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    publish_depth(items_.size());
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    publish_depth(items_.size());
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes every waiter. Idempotent; pending items remain poppable.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Mirrors the instantaneous depth into `gauge` on every push/pop (the
+  // obs-layer queue-depth gauges). The gauge must outlive the queue.
+  void attach_depth_gauge(obs::Gauge* gauge) {
+    std::lock_guard lock(mu_);
+    depth_gauge_ = gauge;
+    publish_depth(items_.size());
+  }
+
+ private:
+  void publish_depth(std::size_t depth) {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(depth));
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;
+};
+
+}  // namespace hds::parallel

@@ -1,0 +1,86 @@
+// OrderedMerge — reassembles out-of-order worker results into sequence order.
+//
+// Producers stamp each result with its sequence number (0,1,2,...); the
+// single consumer pops results strictly in that order, blocking until the
+// next expected number arrives. A bounded reorder window applies
+// backpressure: a producer whose result is too far ahead of the consumer
+// blocks in put(), so one slow early task cannot make the buffer grow
+// without limit.
+//
+// Used by the parallel ingest pipeline to rebuild the VersionStream in
+// recipe order whatever order the fingerprint workers finish in.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hds::parallel {
+
+template <typename T>
+class OrderedMerge {
+ public:
+  // `window` bounds how many sequence numbers may sit buffered ahead of the
+  // consumer (0 = unbounded).
+  explicit OrderedMerge(std::size_t window = 0) : window_(window) {}
+
+  OrderedMerge(const OrderedMerge&) = delete;
+  OrderedMerge& operator=(const OrderedMerge&) = delete;
+
+  // Hands result `seq` to the merge. Blocks while seq is more than `window`
+  // ahead of the next expected number. Returns false if the merge was
+  // closed (result dropped). Each seq must be put at most once.
+  bool put(std::uint64_t seq, T value) {
+    std::unique_lock lock(mu_);
+    space_.wait(lock, [&] {
+      return closed_ || window_ == 0 || seq < next_ + window_;
+    });
+    if (closed_) return false;
+    ready_.emplace(seq, std::move(value));
+    if (seq == next_) available_.notify_one();
+    return true;
+  }
+
+  // Returns result `next` in sequence order, blocking until it arrives;
+  // nullopt once closed and the next expected result is not buffered.
+  std::optional<T> next() {
+    std::unique_lock lock(mu_);
+    available_.wait(lock, [&] { return closed_ || ready_.contains(next_); });
+    const auto it = ready_.find(next_);
+    if (it == ready_.end()) return std::nullopt;
+    T value = std::move(it->second);
+    ready_.erase(it);
+    ++next_;
+    space_.notify_all();
+    return value;
+  }
+
+  // Releases all waiters; pending puts fail, buffered results ahead of a
+  // gap become unreachable. Idempotent.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    space_.notify_all();
+    available_.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t next_seq() const {
+    std::lock_guard lock(mu_);
+    return next_;
+  }
+
+ private:
+  const std::size_t window_;
+  mutable std::mutex mu_;
+  std::condition_variable space_;
+  std::condition_variable available_;
+  std::map<std::uint64_t, T> ready_;
+  std::uint64_t next_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hds::parallel

@@ -1,0 +1,57 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+
+namespace hds::parallel {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("HDS_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_(queue_capacity == 0 ? 2 * (threads == 0 ? 1 : threads)
+                                 : queue_capacity) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  if (!queue_.push(std::move(task))) {
+    // Closed pool (destruction in progress): the task will never run.
+    std::lock_guard lock(mu_);
+    --pending_;
+    idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+    std::lock_guard lock(mu_);
+    if (--pending_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace hds::parallel

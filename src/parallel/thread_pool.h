@@ -1,0 +1,64 @@
+// ThreadPool — a fixed-size worker pool over a BoundedQueue of tasks.
+//
+// The task queue is bounded (default 2 tasks per worker), so submit() is a
+// backpressure point: a producer that outruns the workers blocks instead of
+// queueing unbounded closures. wait_idle() is the stage barrier used by the
+// ingest pipeline between its scan and fingerprint phases.
+//
+// Tasks must not throw: a worker that sees an exception escape a task calls
+// std::terminate (there is no caller to rethrow to). Wrap fallible work and
+// carry errors through the task's own result channel.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/mpmc_queue.h"
+
+namespace hds::parallel {
+
+// Worker count for "use all cores" requests: HDS_THREADS if set, otherwise
+// std::thread::hardware_concurrency(), never 0.
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`; blocks while the queue is full (backpressure). Safe
+  // from multiple producer threads.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished and the queue is empty.
+  // The pool stays usable afterwards.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  // Queue-depth gauge for the obs layer (see BoundedQueue).
+  void attach_depth_gauge(obs::Gauge* gauge) {
+    queue_.attach_depth_gauge(gauge);
+  }
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+};
+
+}  // namespace hds::parallel

@@ -1,0 +1,139 @@
+#include "restore/read_ahead.h"
+
+#include <unordered_set>
+
+namespace hds {
+
+ReadAheadFetcher::ReadAheadFetcher(ContainerFetcher& base,
+                                   std::span<const ChunkLoc> stream,
+                                   const ReadAheadConfig& config)
+    : base_(base),
+      stream_(stream),
+      depth_(config.depth == 0 ? 1 : config.depth),
+      metrics_(config.metrics),
+      thread_([this] { prefetch_loop(); }) {}
+
+ReadAheadFetcher::~ReadAheadFetcher() { stop(); }
+
+void ReadAheadFetcher::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    space_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReadAheadFetcher::prefetch_loop() {
+  // Each distinct container is prefetched at most once per restore. The
+  // stream names a container once per chunk, so without this dedup every
+  // chunk after the consumer takes the entry would re-issue the same read
+  // as a wasted prefetch. If a policy's cache evicts a container and
+  // re-fetches it later, the consumer's miss path reads it directly —
+  // exactly the read the serial run would have done.
+  std::unordered_set<std::uint64_t> walked;
+  for (const ChunkLoc& loc : stream_) {
+    if (loc.active) continue;  // the active pool is consumer-thread-only
+    const std::uint64_t key = loc.key();
+    if (!walked.insert(key).second) continue;
+    {
+      std::unique_lock lock(mu_);
+      space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
+      if (stop_) break;
+      // Resident, in flight, or being read directly by the consumer right
+      // now: the container is already paid for, don't read it twice.
+      if (!buffer_.try_emplace(key).second) continue;
+      ++issued_;
+      publish_depth();
+    }
+    auto container = base_.fetch(loc);  // the one counted store read
+    {
+      std::lock_guard lock(mu_);
+      const auto it = buffer_.find(key);
+      if (it != buffer_.end()) {
+        it->second.container = std::move(container);
+        it->second.ready = true;
+      }
+      ready_.notify_all();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("restore_prefetch_issued").inc();
+    }
+  }
+  std::lock_guard lock(mu_);
+  prefetch_done_ = true;
+  ready_.notify_all();
+}
+
+std::shared_ptr<const Container> ReadAheadFetcher::fetch(
+    const ChunkLoc& loc) {
+  if (loc.active) return base_.fetch(loc);  // never prefetched
+  const std::uint64_t key = loc.key();
+  std::unique_lock lock(mu_);
+  auto it = buffer_.find(key);
+  if (it != buffer_.end() && !it->second.consumer_owned) {
+    if (!it->second.ready) {
+      // In flight on the prefetch thread; its read is the counted one.
+      // Re-find inside the predicate: inserts may rehash the map while we
+      // wait, invalidating `it`.
+      ready_.wait(lock, [&] {
+        const auto cur = buffer_.find(key);
+        return cur == buffer_.end() || cur->second.ready;
+      });
+      it = buffer_.find(key);
+    }
+    if (it != buffer_.end() && it->second.ready) {
+      auto container = std::move(it->second.container);
+      buffer_.erase(it);
+      ++consumed_;
+      ++hits_;
+      publish_depth();
+      space_.notify_all();
+      lock.unlock();
+      if (metrics_ != nullptr) {
+        metrics_->counter("restore_prefetch_hits").inc();
+      }
+      return container;
+    }
+  }
+  // Miss: read directly, marking the key so a racing prefetcher skips it.
+  const bool mark = it == buffer_.end() && !prefetch_done_ && !stop_;
+  if (mark) buffer_.try_emplace(key).first->second.consumer_owned = true;
+  ++misses_;
+  lock.unlock();
+  if (metrics_ != nullptr) {
+    metrics_->counter("restore_prefetch_misses").inc();
+  }
+  auto container = base_.fetch(loc);
+  if (mark) {
+    lock.lock();
+    buffer_.erase(key);
+    publish_depth();
+    space_.notify_all();
+  }
+  return container;
+}
+
+void ReadAheadFetcher::publish_depth() {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("restore_prefetch_depth")
+        .set(static_cast<double>(buffer_.size()));
+  }
+}
+
+std::uint64_t ReadAheadFetcher::wasted_reads() const noexcept {
+  std::lock_guard lock(mu_);
+  return issued_ - consumed_;
+}
+
+std::uint64_t ReadAheadFetcher::prefetch_hits() const noexcept {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ReadAheadFetcher::prefetch_misses() const noexcept {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+}  // namespace hds

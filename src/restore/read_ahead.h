@@ -1,0 +1,105 @@
+// ReadAheadFetcher — overlaps container I/O with chunk assembly during
+// restore (the concurrency half of ALACC-style restore pipelining).
+//
+// A prefetch thread walks the resolved recipe stream ahead of the consumer
+// and issues ContainerStore reads through the wrapped fetcher into a small
+// bounded buffer (backpressure: the thread blocks when `depth` containers
+// are resident). The consumer's fetch() takes buffered containers without
+// touching the store, so each physical read happens exactly once:
+//
+//   * a prefetched container consumed by the policy  → 1 store read (by the
+//     prefetcher);
+//   * a miss (policy fetched something unpredicted)  → 1 direct store read;
+//   * an in-flight collision                         → the consumer waits
+//     for the prefetcher's read instead of issuing a second one.
+//
+// Restore POLICIES are untouched: they still count one container read per
+// fetch() call, so speed factors and every Fig 11 number are computed from
+// the same accounting with read-ahead on or off. The only divergence is a
+// *wasted* prefetch — a container fetched ahead that the policy's own cache
+// made unnecessary — which callers subtract via wasted_reads() when they
+// cross-check policy counts against store counters (and export as the
+// restore_prefetch_wasted metric).
+//
+// Thread-safety: the wrapped fetcher must tolerate concurrent fetch() calls
+// for non-active locations (ContainerStore::read is; the active pool is
+// not, so locations with `active` set are never prefetched and always read
+// on the consumer thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "restore/restorer.h"
+
+namespace hds {
+
+struct ReadAheadConfig {
+  // Containers resident in the prefetch buffer (including in-flight reads)
+  // before the prefetch thread blocks.
+  std::size_t depth = 8;
+  // Optional restore_prefetch_* counters and buffer-depth gauge.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class ReadAheadFetcher final : public ContainerFetcher {
+ public:
+  // `stream` must outlive this fetcher (the caller owns the resolved recipe
+  // for the whole restore).
+  ReadAheadFetcher(ContainerFetcher& base, std::span<const ChunkLoc> stream,
+                   const ReadAheadConfig& config = {});
+  ~ReadAheadFetcher() override;
+
+  ReadAheadFetcher(const ReadAheadFetcher&) = delete;
+  ReadAheadFetcher& operator=(const ReadAheadFetcher&) = delete;
+
+  std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override;
+
+  // Stops and joins the prefetch thread (idempotent; also run by the
+  // destructor). After stop(), wasted_reads() is final.
+  void stop();
+
+  // Prefetched containers the policy never consumed — store reads the
+  // serial path would not have issued.
+  [[nodiscard]] std::uint64_t wasted_reads() const noexcept;
+  [[nodiscard]] std::uint64_t prefetch_hits() const noexcept;
+  [[nodiscard]] std::uint64_t prefetch_misses() const noexcept;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Container> container;
+    bool ready = false;
+    // Inserted by the consumer's miss path purely to keep the prefetcher
+    // from re-reading the same container concurrently.
+    bool consumer_owned = false;
+  };
+
+  void prefetch_loop();
+  void publish_depth();  // callers hold mu_
+
+  ContainerFetcher& base_;
+  std::span<const ChunkLoc> stream_;
+  const std::size_t depth_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_;  // prefetcher waits for buffer room
+  std::condition_variable ready_;  // consumer waits for in-flight reads
+  std::unordered_map<std::uint64_t, Entry> buffer_;
+  bool stop_ = false;
+  bool prefetch_done_ = false;
+  std::uint64_t issued_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  std::thread thread_;  // last member: starts after all state is ready
+};
+
+}  // namespace hds

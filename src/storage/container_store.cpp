@@ -56,6 +56,7 @@ void ContainerStore::attach_metrics(obs::MetricsRegistry& registry,
 // --- MemoryContainerStore ---
 
 std::vector<ContainerId> MemoryContainerStore::ids() const {
+  std::lock_guard lock(mu_);
   std::vector<ContainerId> out;
   out.reserve(containers_.size());
   for (const auto& [id, _] : containers_) out.push_back(id);
@@ -63,16 +64,20 @@ std::vector<ContainerId> MemoryContainerStore::ids() const {
 }
 
 void MemoryContainerStore::do_write(ContainerId id, Container&& container) {
-  containers_[id] = std::make_shared<const Container>(std::move(container));
+  auto stored = std::make_shared<const Container>(std::move(container));
+  std::lock_guard lock(mu_);
+  containers_[id] = std::move(stored);
 }
 
 std::shared_ptr<const Container> MemoryContainerStore::do_read(
     ContainerId id) {
+  std::lock_guard lock(mu_);
   const auto it = containers_.find(id);
   return it == containers_.end() ? nullptr : it->second;
 }
 
 bool MemoryContainerStore::do_erase(ContainerId id) {
+  std::lock_guard lock(mu_);
   return containers_.erase(id) > 0;
 }
 
@@ -105,6 +110,7 @@ std::filesystem::path FileContainerStore::path_for(ContainerId id) const {
 }
 
 std::vector<ContainerId> FileContainerStore::ids() const {
+  std::lock_guard lock(mu_);
   std::vector<ContainerId> out;
   out.reserve(known_.size());
   for (const auto& [id, _] : known_) out.push_back(id);
@@ -118,11 +124,15 @@ void FileContainerStore::do_write(ContainerId id, Container&& container) {
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw std::runtime_error("FileContainerStore: short write");
+  std::lock_guard lock(mu_);
   known_[id] = true;
 }
 
 std::shared_ptr<const Container> FileContainerStore::do_read(ContainerId id) {
-  if (!known_.contains(id)) return nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (!known_.contains(id)) return nullptr;
+  }
   std::ifstream in(path_for(id), std::ios::binary | std::ios::ate);
   if (!in) return nullptr;
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -137,7 +147,10 @@ std::shared_ptr<const Container> FileContainerStore::do_read(ContainerId id) {
 }
 
 bool FileContainerStore::do_erase(ContainerId id) {
-  if (known_.erase(id) == 0) return false;
+  {
+    std::lock_guard lock(mu_);
+    if (known_.erase(id) == 0) return false;
+  }
   std::error_code ec;
   std::filesystem::remove(path_for(id), ec);
   return !ec;

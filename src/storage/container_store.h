@@ -10,9 +10,11 @@
 //     a directory; proves the format round-trips through a real filesystem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -22,15 +24,42 @@
 
 namespace hds {
 
+// I/O counters shared between the consumer thread and the restore
+// read-ahead prefetcher: each field is a relaxed atomic (counts must not be
+// lost; cross-field consistency is not needed). Copying takes a relaxed
+// snapshot, so existing `stats().container_reads` call sites read naturally.
 struct IoStats {
-  std::uint64_t container_reads = 0;
-  std::uint64_t container_writes = 0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
+  std::atomic<std::uint64_t> container_reads{0};
+  std::atomic<std::uint64_t> container_writes{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
 
-  void reset() noexcept { *this = IoStats{}; }
+  IoStats() = default;
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    container_reads = other.container_reads.load(std::memory_order_relaxed);
+    container_writes = other.container_writes.load(std::memory_order_relaxed);
+    bytes_read = other.bytes_read.load(std::memory_order_relaxed);
+    bytes_written = other.bytes_written.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  void reset() noexcept {
+    container_reads.store(0, std::memory_order_relaxed);
+    container_writes.store(0, std::memory_order_relaxed);
+    bytes_read.store(0, std::memory_order_relaxed);
+    bytes_written.store(0, std::memory_order_relaxed);
+  }
 };
 
+// Thread-safety contract: read(), put(), write(), erase(), reserve_id() and
+// stats() are safe to call from multiple threads concurrently — counters are
+// atomic, ID reservation is atomic, and both backends guard their container
+// maps with a mutex. This is what lets the restore read-ahead thread issue
+// read()s while the consumer thread reads and the backup path writes.
+// NOT thread-safe: attach_metrics(), reset_stats(), restore_next_id() and
+// construction/destruction, which must be serialized externally (they are
+// setup/teardown operations).
 class ContainerStore {
  public:
   virtual ~ContainerStore() = default;
@@ -77,7 +106,8 @@ class ContainerStore {
   virtual bool do_erase(ContainerId id) = 0;
 
  private:
-  ContainerId next_id_ = 1;  // 0 is reserved for "active" in recipes
+  // 0 is reserved for "active" in recipes
+  std::atomic<ContainerId> next_id_{1};
   IoStats stats_;
   obs::Counter* m_writes_ = nullptr;
   obs::Counter* m_reads_ = nullptr;
@@ -89,6 +119,7 @@ class ContainerStore {
 class MemoryContainerStore final : public ContainerStore {
  public:
   [[nodiscard]] std::size_t container_count() const override {
+    std::lock_guard lock(mu_);
     return containers_.size();
   }
   [[nodiscard]] std::vector<ContainerId> ids() const override;
@@ -99,6 +130,7 @@ class MemoryContainerStore final : public ContainerStore {
   bool do_erase(ContainerId id) override;
 
  private:
+  mutable std::mutex mu_;  // guards containers_ (see thread-safety contract)
   std::unordered_map<ContainerId, std::shared_ptr<const Container>>
       containers_;
 };
@@ -113,6 +145,7 @@ class FileContainerStore final : public ContainerStore {
                               bool index_existing = false);
 
   [[nodiscard]] std::size_t container_count() const override {
+    std::lock_guard lock(mu_);
     return known_.size();
   }
   [[nodiscard]] std::vector<ContainerId> ids() const override;
@@ -126,6 +159,7 @@ class FileContainerStore final : public ContainerStore {
   [[nodiscard]] std::filesystem::path path_for(ContainerId id) const;
 
   std::filesystem::path dir_;
+  mutable std::mutex mu_;  // guards known_ (see thread-safety contract)
   std::unordered_map<ContainerId, bool> known_;
 };
 

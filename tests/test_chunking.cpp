@@ -254,9 +254,10 @@ TEST(ChunkBytes, FingerprintsAreSha1OfContent) {
   ASSERT_FALSE(stream.chunks.empty());
   EXPECT_EQ(stream.logical_bytes(), data.size());
   for (const auto& c : stream.chunks) {
-    ASSERT_TRUE(c.data);
-    EXPECT_EQ(c.fp, Sha1::digest(c.data->data(), c.data->size()));
-    EXPECT_EQ(c.size, c.data->size());
+    ASSERT_TRUE(c.data);  // records view a buffer shared by their batch
+    const auto view = c.bytes();
+    EXPECT_EQ(view.size(), c.size);
+    EXPECT_EQ(c.fp, Sha1::digest(view.data(), view.size()));
   }
 }
 

@@ -1,0 +1,231 @@
+// Unit tests for the concurrency primitives (src/parallel): bounded MPMC
+// queue, fixed thread pool, ordered merge. Tagged `concurrency` so the TSan
+// CI job can select them with `ctest -L concurrency`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parallel/mpmc_queue.h"
+#include "parallel/ordered_merge.h"
+#include "parallel/thread_pool.h"
+
+namespace {
+
+using namespace hds;
+using parallel::BoundedQueue;
+using parallel::OrderedMerge;
+using parallel::ThreadPool;
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryOpsRespectCapacityAndEmptiness) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    pushed = true;
+  });
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseReleasesBlockedProducerWithFalse) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> result{true};
+  std::thread producer([&] { result = q.push(2); });
+  q.close();
+  producer.join();
+  EXPECT_FALSE(result);          // the blocked push was refused
+  EXPECT_FALSE(q.push(3));       // pushes after close fail immediately
+  EXPECT_EQ(q.pop(), 1);         // pending items still drain
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseReleasesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());  // blocks until close
+    done = true;
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(done);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(8);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (const auto v = q.pop()) {
+        sum += *v;
+        ++popped;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto it = threads.begin() + 3; it != threads.end(); ++it) it->join();
+  q.close();
+  for (auto it = threads.begin(); it != threads.begin() + 3; ++it) it->join();
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(popped, n);
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(BoundedQueue, DepthGaugeTracksSize) {
+  obs::MetricsRegistry metrics;
+  BoundedQueue<int> q(4);
+  q.attach_depth_gauge(&metrics.gauge("depth"));
+  EXPECT_EQ(metrics.gauge("depth").value(), 0.0);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  EXPECT_EQ(metrics.gauge("depth").value(), 2.0);
+  (void)q.pop();
+  EXPECT_EQ(metrics.gauge("depth").value(), 1.0);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(ThreadPool, WaitIdleIsABarrierAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++done; });
+    pool.wait_idle();
+    EXPECT_EQ(done, 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, DefaultThreadCountNeverZero) {
+  EXPECT_GE(parallel::default_thread_count(), 1u);
+}
+
+TEST(OrderedMerge, ReordersOutOfOrderPuts) {
+  OrderedMerge<int> merge;
+  std::thread producer([&] {
+    EXPECT_TRUE(merge.put(2, 20));
+    EXPECT_TRUE(merge.put(0, 0));
+    EXPECT_TRUE(merge.put(1, 10));
+  });
+  for (int i = 0; i < 3; ++i) {
+    const auto v = merge.next();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i * 10);
+  }
+  producer.join();
+}
+
+TEST(OrderedMerge, ManyProducersStreamInOrder) {
+  constexpr std::uint64_t kResults = 400;
+  OrderedMerge<std::uint64_t> merge(/*window=*/8);
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> seq{0};
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (std::uint64_t s = seq++; s < kResults; s = seq++) {
+        ASSERT_TRUE(merge.put(s, s * 3));
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < kResults; ++i) {
+    const auto v = merge.next();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i * 3);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(merge.next_seq(), kResults);
+}
+
+TEST(OrderedMerge, WindowBlocksFarAheadProducer) {
+  OrderedMerge<int> merge(/*window=*/2);
+  ASSERT_TRUE(merge.put(0, 0));
+  ASSERT_TRUE(merge.put(1, 1));
+  std::atomic<bool> delivered{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(merge.put(2, 2));  // blocks: 2 >= next(0) + window(2)
+    delivered = true;
+  });
+  EXPECT_EQ(merge.next(), 0);  // advances next_ to 1, releasing seq 2
+  producer.join();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(merge.next(), 1);
+  EXPECT_EQ(merge.next(), 2);
+}
+
+TEST(OrderedMerge, CloseReleasesEverybody) {
+  OrderedMerge<int> merge(/*window=*/1);
+  ASSERT_TRUE(merge.put(0, 0));
+  std::atomic<bool> refused{false};
+  std::thread producer([&] { refused = !merge.put(5, 5); });
+  std::thread consumer([&] {
+    EXPECT_EQ(merge.next(), 0);
+    EXPECT_FALSE(merge.next().has_value());  // seq 1 never arrives
+  });
+  merge.close();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(refused);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// ParallelChunkPipeline determinism: the parallel ingest front end must
+// produce a VersionStream BIT-IDENTICAL to the serial chunk_bytes() path for
+// every chunker, every input shape, and every thread count. Tagged
+// `concurrency` for the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/parallel_chunk.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace hds;
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(n);
+  Xoshiro256ss rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+std::vector<std::uint8_t> repetitive_buffer(std::size_t n) {
+  // A 64-byte motif repeated: low-entropy input that stresses the chunkers'
+  // max-size forcing paths (long runs without a natural cut).
+  std::vector<std::uint8_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>((i % 64) * 7);
+  }
+  return data;
+}
+
+// Full structural equality: boundaries, fingerprints, and content bytes.
+void expect_streams_equal(const VersionStream& serial,
+                          const VersionStream& parallel) {
+  ASSERT_EQ(serial.chunks.size(), parallel.chunks.size());
+  EXPECT_EQ(serial.logical_bytes(), parallel.logical_bytes());
+  for (std::size_t i = 0; i < serial.chunks.size(); ++i) {
+    const auto& s = serial.chunks[i];
+    const auto& p = parallel.chunks[i];
+    ASSERT_EQ(s.size, p.size) << "chunk " << i;
+    ASSERT_EQ(s.fp, p.fp) << "chunk " << i;
+    const auto sb = s.bytes();
+    const auto pb = p.bytes();
+    ASSERT_EQ(sb.size(), pb.size()) << "chunk " << i;
+    ASSERT_EQ(std::memcmp(sb.data(), pb.data(), sb.size()), 0)
+        << "chunk " << i;
+  }
+}
+
+// Small segments force many speculative scans (and therefore resyncs and
+// fixups) even on modest inputs.
+ParallelChunkConfig tight_config(std::size_t threads) {
+  ParallelChunkConfig config;
+  config.threads = threads;
+  config.segment_bytes = 64 * 1024;
+  config.batch_bytes = 32 * 1024;
+  return config;
+}
+
+class ParallelChunkAllKinds : public ::testing::TestWithParam<ChunkerKind> {};
+
+TEST_P(ParallelChunkAllKinds, MatchesSerialOnRandomData) {
+  const auto chunker = make_chunker(GetParam());
+  const auto data = random_buffer(3 * 1024 * 1024 + 137, 42);
+  const auto serial = chunk_bytes(*chunker, data);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const ParallelChunkPipeline pipeline(*chunker, tight_config(threads));
+    expect_streams_equal(serial, pipeline.run(data));
+  }
+}
+
+TEST_P(ParallelChunkAllKinds, MatchesSerialOnRepetitiveData) {
+  const auto chunker = make_chunker(GetParam());
+  const auto data = repetitive_buffer(2 * 1024 * 1024);
+  const auto serial = chunk_bytes(*chunker, data);
+  const ParallelChunkPipeline pipeline(*chunker, tight_config(4));
+  expect_streams_equal(serial, pipeline.run(data));
+}
+
+TEST_P(ParallelChunkAllKinds, MatchesSerialOnZeros) {
+  const auto chunker = make_chunker(GetParam());
+  const std::vector<std::uint8_t> data(1536 * 1024, 0);
+  const auto serial = chunk_bytes(*chunker, data);
+  const ParallelChunkPipeline pipeline(*chunker, tight_config(3));
+  expect_streams_equal(serial, pipeline.run(data));
+}
+
+TEST_P(ParallelChunkAllKinds, MatchesSerialOnEdgeSizes) {
+  const auto chunker = make_chunker(GetParam());
+  // Empty, one byte, sub-segment, and exactly-one-segment inputs all take
+  // the serial fallback or the smallest parallel split.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{4096}, std::size_t{64 * 1024},
+                              std::size_t{64 * 1024 + 1}}) {
+    const auto data = random_buffer(n, n + 1);
+    const auto serial = chunk_bytes(*chunker, data);
+    const ParallelChunkPipeline pipeline(*chunker, tight_config(2));
+    expect_streams_equal(serial, pipeline.run(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChunkers, ParallelChunkAllKinds,
+                         ::testing::Values(ChunkerKind::kFixed,
+                                           ChunkerKind::kRabin,
+                                           ChunkerKind::kTttd,
+                                           ChunkerKind::kFastCdc,
+                                           ChunkerKind::kAe),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ChunkerKind::kFixed: return "fixed";
+                             case ChunkerKind::kRabin: return "rabin";
+                             case ChunkerKind::kTttd: return "tttd";
+                             case ChunkerKind::kFastCdc: return "fastcdc";
+                             case ChunkerKind::kAe: return "ae";
+                           }
+                           return "unknown";
+                         });
+
+TEST(ParallelChunk, ConvenienceWrapperMatchesSerial) {
+  const auto chunker = make_chunker(ChunkerKind::kFastCdc);
+  const auto data = random_buffer(5 * 1024 * 1024, 7);
+  expect_streams_equal(chunk_bytes(*chunker, data),
+                       chunk_bytes_parallel(*chunker, data, 4));
+}
+
+TEST(ParallelChunk, OneThreadTakesSerialPath) {
+  const auto chunker = make_chunker(ChunkerKind::kTttd);
+  const auto data = random_buffer(512 * 1024, 9);
+  expect_streams_equal(chunk_bytes(*chunker, data),
+                       chunk_bytes_parallel(*chunker, data, 1));
+}
+
+TEST(ParallelChunk, RecordsShareBatchBuffers) {
+  const auto chunker = make_chunker(ChunkerKind::kFastCdc);
+  const auto data = random_buffer(1024 * 1024, 11);
+  const auto stream = chunk_bytes_parallel(*chunker, data, 2);
+  ASSERT_GT(stream.chunks.size(), 1u);
+  std::size_t shared_pairs = 0;
+  for (std::size_t i = 1; i < stream.chunks.size(); ++i) {
+    const auto& prev = stream.chunks[i - 1];
+    const auto& cur = stream.chunks[i];
+    ASSERT_TRUE(cur.data);
+    if (cur.data == prev.data) {
+      // Within a batch, records are consecutive views of one buffer.
+      EXPECT_EQ(cur.data_offset, prev.data_offset + prev.size);
+      ++shared_pairs;
+    } else {
+      EXPECT_EQ(cur.data_offset, 0u);
+    }
+  }
+  // Batches hold many ~4 KiB chunks, so sharing must dominate.
+  EXPECT_GT(shared_pairs, stream.chunks.size() / 2);
+  // The views reassemble the exact input.
+  std::vector<std::uint8_t> rebuilt;
+  for (const auto& c : stream.chunks) {
+    const auto b = c.bytes();
+    rebuilt.insert(rebuilt.end(), b.begin(), b.end());
+  }
+  EXPECT_EQ(rebuilt, data);
+}
+
+TEST(ParallelChunk, ExportsIngestMetrics) {
+  obs::MetricsRegistry metrics;
+  ParallelChunkConfig config = tight_config(2);
+  config.metrics = &metrics;
+  const auto chunker = make_chunker(ChunkerKind::kTttd);
+  const auto data = random_buffer(1024 * 1024, 13);
+  const ParallelChunkPipeline pipeline(*chunker, config);
+  const auto stream = pipeline.run(data);
+  EXPECT_GT(stream.chunks.size(), 0u);
+  EXPECT_GT(metrics.counter("ingest_segments").value(), 0u);
+  EXPECT_EQ(metrics.counter("ingest_bytes").value(), data.size());
+  EXPECT_GT(metrics.counter("ingest_batches").value(), 0u);
+}
+
+}  // namespace
