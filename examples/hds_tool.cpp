@@ -16,6 +16,8 @@
 //                                                snapshot (partial restore)
 //   hds_tool stats   <repo> [--json]             export the metrics registry
 //                                                (Prometheus text by default)
+//   hds_tool fsck    <repo> [--json]             verify every store invariant
+//                                                (exit 0 clean, 1 violations)
 //
 // Observability flags (any command):
 //   --metrics-out=<file>   write a JSON metrics snapshot after the command
@@ -47,6 +49,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "restore/faa.h"
+#include "verify/fsck.h"
 
 namespace fs = std::filesystem;
 
@@ -118,7 +121,7 @@ void save_catalog(const fs::path& repo, const FileCatalog& catalog) {
 int usage() {
   std::fprintf(stderr,
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
-               "files|restore-file|stats <repo> [args]\n"
+               "files|restore-file|stats|fsck <repo> [args]\n"
                "       [--metrics-out=<file>] [--trace-out=<file>] "
                "[--json] [--threads=N]\n");
   return 2;
@@ -225,6 +228,13 @@ int main(int argc, char** argv) {
                                    : sys->metrics().to_prometheus();
     std::fwrite(text.data(), 1, text.size(), stdout);
     return 0;
+  }
+
+  if (command == "fsck") {
+    const auto report = verify::run_fsck(*sys);
+    const auto text = options.json ? report.to_json() : report.to_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return report.clean() ? 0 : 1;
   }
 
   if (command == "backup") {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/byte_io.h"
+#include "verify/invariant.h"
 
 namespace hds {
 
@@ -33,6 +34,8 @@ ContainerId ActiveContainerPool::add(const ChunkRecord& chunk) {
   }
   if (!ok) throw std::logic_error("active pool: duplicate or oversize chunk");
   index_[chunk.fp] = container.id();
+  HDS_CHECK(containers_.at(container.id())->contains(chunk.fp),
+            "stored chunk not retrievable from its active container");
   return container.id();
 }
 
@@ -40,6 +43,12 @@ const ContainerId* ActiveContainerPool::find(
     const Fingerprint& fp) const noexcept {
   const auto it = index_.find(fp);
   return it == index_.end() ? nullptr : &it->second;
+}
+
+std::shared_ptr<const Container> ActiveContainerPool::peek(
+    ContainerId cid) const noexcept {
+  const auto it = containers_.find(cid);
+  return it == containers_.end() ? nullptr : it->second;
 }
 
 std::shared_ptr<const Container> ActiveContainerPool::fetch(ContainerId cid) {
@@ -66,9 +75,14 @@ std::vector<std::uint8_t> ActiveContainerPool::extract(const Fingerprint& fp) {
   }
   auto& container = *containers_.at(idx->second);
   const auto bytes = container.read(fp);
+  if (!bytes) {
+    // contains() but unreadable ⇒ the payload failed its per-chunk CRC.
+    throw std::runtime_error("active pool: chunk payload corrupt");
+  }
   std::vector<std::uint8_t> out(bytes->begin(), bytes->end());
   container.remove(fp);
   index_.erase(idx);
+  HDS_INVARIANT(!index_.contains(fp));
   return out;
 }
 
@@ -151,7 +165,11 @@ std::unordered_map<Fingerprint, ContainerId> ActiveContainerPool::compact(
 
     for (const auto& [offset, fp] : order) {
       (void)offset;
-      const auto bytes = *src->read(fp);
+      const auto read = src->read(fp);
+      if (!read) {
+        throw std::runtime_error("active pool: chunk payload corrupt");
+      }
+      const auto bytes = *read;
       auto& dst = open_container(bytes.size());
       // Metadata-only pools stay metadata-only through compaction; never
       // materialize placeholder payloads.
@@ -167,6 +185,20 @@ std::unordered_map<Fingerprint, ContainerId> ActiveContainerPool::compact(
     }
     containers_.erase(src_id);
   }
+  // Post-compaction invariant (Figure 6): merging leaves at most one
+  // container (the fresh tail) below the utilization threshold.
+  HDS_CHECK(std::count_if(containers_.begin(), containers_.end(),
+                          [&](const auto& kv) {
+                            return kv.second->utilization() < threshold;
+                          }) <= 1,
+            "compaction left more than one sparse active container");
+  HDS_CHECK(std::all_of(remap.begin(), remap.end(),
+                        [&](const auto& kv) {
+                          const auto it = containers_.find(kv.second);
+                          return it != containers_.end() &&
+                                 it->second->contains(kv.first);
+                        }),
+            "compaction remap points at a container missing the chunk");
   return remap;
 }
 

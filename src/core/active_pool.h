@@ -40,6 +40,17 @@ class ActiveContainerPool {
   // Fetches a container for a restore — counted as one container read.
   [[nodiscard]] std::shared_ptr<const Container> fetch(ContainerId cid);
 
+  // Diagnostic access (fsck): same container, no I/O accounting.
+  [[nodiscard]] std::shared_ptr<const Container> peek(
+      ContainerId cid) const noexcept;
+
+  // The full fingerprint → active-container index (fsck walks it to verify
+  // pool/cache/class-exclusivity invariants).
+  [[nodiscard]] const std::unordered_map<Fingerprint, ContainerId>& index()
+      const noexcept {
+    return index_;
+  }
+
   // Pulls a cold chunk out of the pool: returns its bytes and removes it.
   // Internal data movement — not counted as a restore read.
   [[nodiscard]] std::vector<std::uint8_t> extract(const Fingerprint& fp);

@@ -1,8 +1,10 @@
 #include "core/double_cache.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/units.h"
+#include "verify/invariant.h"
 
 namespace hds {
 
@@ -58,6 +60,16 @@ DoubleHashFingerprintCache::Table DoubleHashFingerprintCache::rotate() {
   }
   t1_ = std::move(t2_);
   t2_ = Table{};
+  // Version boundary (§4.1): the current table starts empty, and every
+  // evicted entry must name a live active-container home — the eviction
+  // pass relies on both.
+  HDS_INVARIANT(t2_.empty());
+  HDS_CHECK(std::all_of(cold.begin(), cold.end(),
+                        [](const auto& kv) {
+                          return kv.second.active_cid > 0 &&
+                                 kv.second.size > 0;
+                        }),
+            "cold set entry without an active-container home");
   return cold;
 }
 

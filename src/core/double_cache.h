@@ -73,6 +73,9 @@ class DoubleHashFingerprintCache {
   [[nodiscard]] int window() const noexcept { return window_; }
   [[nodiscard]] const Table& current() const noexcept { return t2_; }
   [[nodiscard]] const Table& previous() const noexcept { return t1_; }
+  // T0 (window == 2 only; always empty otherwise) — exposed for fsck's
+  // cache/pool consistency check.
+  [[nodiscard]] const Table& oldest() const noexcept { return t0_; }
 
   // Transient footprint: 28 bytes per entry (20B fingerprint + 4B CID +
   // 4B size), mirroring the paper's back-of-envelope (§4.1).

@@ -10,6 +10,7 @@
 #include "restore/faa.h"
 #include "restore/partial.h"
 #include "restore/read_ahead.h"
+#include "verify/invariant.h"
 
 namespace hds {
 
@@ -49,6 +50,7 @@ HiDeStore::HiDeStore(const HiDeStoreConfig& config)
   register_metrics();
   store_->attach_metrics(metrics_, "store");
   pool_.attach_metrics(metrics_);
+  crc_failures_baseline_ = chunk_crc_failures();
 }
 
 void HiDeStore::register_metrics() {
@@ -70,7 +72,9 @@ void HiDeStore::register_metrics() {
         "restore_prefetch_misses", "restore_prefetch_wasted",
         // Deletion (§4.5): delete_chunks_scanned stays 0 — no GC.
         "versions_deleted", "containers_erased", "bytes_reclaimed",
-        "delete_chunks_scanned"}) {
+        "delete_chunks_scanned",
+        // Integrity: per-chunk CRC mismatches observed on any read path.
+        "io_crc_failures"}) {
     (void)metrics_.counter(name);
   }
   for (const char* name : {"backup_ms", "recipe_update_ms",
@@ -92,6 +96,12 @@ void HiDeStore::refresh_gauges() {
   metrics_.gauge("versions_retained")
       .set(static_cast<double>(recipes_.versions().size()));
   metrics_.gauge("dedup_ratio").set(dedup_ratio());
+  // Mirror the process-wide chunk-CRC failure count (growth since this
+  // system was opened) into the registry so exporters and `hds_tool stats`
+  // surface it alongside everything else.
+  auto& crc = metrics_.counter("io_crc_failures");
+  const std::uint64_t seen = chunk_crc_failures() - crc_failures_baseline_;
+  if (seen > crc.value()) crc.inc(seen - crc.value());
 }
 
 HiDeStoreOverheads HiDeStore::overheads() const {
@@ -211,6 +221,7 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   metrics_.counter("backups_completed").inc();
   metrics_.histogram("backup_ms").observe(report.elapsed_ms);
   refresh_gauges();
+  check_version_invariants();
   if (obs::log_enabled(obs::LogLevel::kInfo)) {
     obs::log_info("backup",
                   {{"version", version},
@@ -223,6 +234,30 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
                    {"elapsed_ms", report.elapsed_ms}});
   }
   return report;
+}
+
+void HiDeStore::check_version_invariants() const {
+#if defined(HDS_VERIFY)
+  // Version boundary audit (§4.1/§4.2 coupling): the fingerprint cache and
+  // the active pool must describe each other exactly. Forward direction —
+  // every cached entry resolves to a pool container that holds the chunk.
+  std::size_t cached = 0;
+  for (const auto* table :
+       {&cache_.current(), &cache_.previous(), &cache_.oldest()}) {
+    cached += table->size();
+    for (const auto& [fp, entry] : *table) {
+      const ContainerId* cid = pool_.find(fp);
+      HDS_CHECK(cid != nullptr && *cid == entry.active_cid,
+                "cached chunk missing from the active pool index");
+      const auto container = pool_.peek(entry.active_cid);
+      HDS_CHECK(container != nullptr && container->contains(fp),
+                "cached chunk missing from its active container");
+    }
+  }
+  // Reverse direction: the pool holds nothing the cache has forgotten.
+  HDS_CHECK(cached == pool_.index().size(),
+            "active pool holds chunks absent from every cache table");
+#endif
 }
 
 void HiDeStore::evict_cold(DoubleHashFingerprintCache::Table cold,
@@ -438,7 +473,9 @@ std::size_t HiDeStore::flatten_recipes() {
 
 namespace {
 constexpr std::uint32_t kStateMagic = 0x48445353;  // "HDSS"
-constexpr std::uint32_t kStateFormat = 1;
+// Format 2: embedded container blobs carry the per-chunk CRC column
+// (container.cpp kMagic "HDSE").
+constexpr std::uint32_t kStateFormat = 2;
 constexpr const char* kStateFile = "state.hds";
 }  // namespace
 

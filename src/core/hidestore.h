@@ -149,9 +149,27 @@ class HiDeStore final : public BackupSystem {
   [[nodiscard]] const RecipeStore& recipes() const noexcept {
     return recipes_;
   }
+  // Mutable recipe access — offline surgery and corruption-injection tests
+  // (fsck). Normal operation never needs this.
+  [[nodiscard]] RecipeStore& mutable_recipes() noexcept { return recipes_; }
   [[nodiscard]] ContainerStore& archival_store() noexcept { return *store_; }
   [[nodiscard]] const ActiveContainerPool& active_pool() const noexcept {
     return pool_;
+  }
+  [[nodiscard]] const DoubleHashFingerprintCache& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const HiDeStoreConfig& config() const noexcept {
+    return config_;
+  }
+  // §4.5 deletion tags: archival container → version whose cold chunks it
+  // holds. fsck checks this is a bijection with the store's container set.
+  [[nodiscard]] const std::unordered_map<ContainerId, VersionId>&
+  container_tags() const noexcept {
+    return container_version_;
+  }
+  [[nodiscard]] VersionId oldest_version() const noexcept {
+    return oldest_version_;
   }
   [[nodiscard]] VersionId latest_version() const noexcept {
     return next_version_ - 1;
@@ -172,6 +190,12 @@ class HiDeStore final : public BackupSystem {
   void evict_cold(DoubleHashFingerprintCache::Table cold, ColdMap& cold_map,
                   VersionId cold_version);
 
+  // HDS_VERIFY-only end-of-backup audit: cache tables and pool index must
+  // describe each other exactly (every cached entry names a pool container
+  // that holds the fingerprint; every pooled chunk is cached). Compiled to
+  // a no-op otherwise.
+  void check_version_invariants() const;
+
   // Resolves a recipe entry to a concrete location, walking the chain.
   ChunkLoc resolve(const RecipeEntry& entry,
                    std::unordered_map<VersionId,
@@ -188,6 +212,9 @@ class HiDeStore final : public BackupSystem {
   VersionId next_version_ = 1;
   VersionId oldest_version_ = 1;
   std::size_t read_ahead_depth_ = 0;
+  // Process-wide chunk-CRC failure count at construction/load time; the
+  // io_crc_failures counter mirrors growth past this baseline.
+  std::uint64_t crc_failures_baseline_ = 0;
   // Archival container → version whose cold chunks it holds (deletion tag).
   std::unordered_map<ContainerId, VersionId> container_version_;
   obs::MetricsRegistry metrics_;

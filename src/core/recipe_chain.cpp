@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "verify/invariant.h"
+
 namespace hds {
 
 std::size_t update_previous_recipe(
@@ -22,6 +24,16 @@ std::size_t update_previous_recipe(
     }
     ++updated;
   }
+  // Finalization invariant (§4.3): the recipe one window back leaves this
+  // function with every entry resolved — an archival home (>0) or a chain
+  // link pointing forward in time (< 0, at most `current`).
+  HDS_CHECK(std::all_of(prev.entries().begin(), prev.entries().end(),
+                        [&](const RecipeEntry& e) {
+                          return e.cid > 0 ||
+                                 (e.cid < 0 &&
+                                  static_cast<VersionId>(-e.cid) <= current);
+                        }),
+            "finalized recipe still holds active or out-of-range CIDs");
   return updated;
 }
 

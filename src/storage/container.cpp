@@ -1,13 +1,25 @@
 #include "storage/container.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/crc32.h"
+#include "verify/invariant.h"
 
 namespace hds {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x48445343;  // "HDSC"
+// "HDSC" + 2: format 2 adds the per-chunk CRC column to the entry table.
+constexpr std::uint32_t kMagic = 0x48445345;
+
+std::atomic<std::uint64_t> g_chunk_crc_failures{0};
+}  // namespace
+
+std::uint64_t chunk_crc_failures() noexcept {
+  return g_chunk_crc_failures.load(std::memory_order_relaxed);
+}
+
+namespace {
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -25,10 +37,12 @@ bool Container::add(const Fingerprint& fp,
                     std::span<const std::uint8_t> bytes) {
   if (!fits(bytes.size()) || entries_.contains(fp)) return false;
   const ContainerEntry entry{static_cast<std::uint32_t>(data_.size()),
-                             static_cast<std::uint32_t>(bytes.size())};
+                             static_cast<std::uint32_t>(bytes.size()),
+                             crc32(bytes)};
   data_.insert(data_.end(), bytes.begin(), bytes.end());
   entries_.emplace(fp, entry);
   used_ += bytes.size();
+  HDS_INVARIANT(data_size() <= capacity_);
   return true;
 }
 
@@ -43,7 +57,7 @@ std::span<const std::uint8_t> zero_page(std::uint32_t size) {
 
 bool Container::add_meta(const Fingerprint& fp, std::uint32_t size) {
   if (!fits(size) || entries_.contains(fp)) return false;
-  entries_.emplace(fp, ContainerEntry{kVirtualOffset, size});
+  entries_.emplace(fp, ContainerEntry{kVirtualOffset, size, 0});
   virtual_bytes_ += size;
   used_ += size;
   return true;
@@ -56,7 +70,22 @@ std::optional<std::span<const std::uint8_t>> Container::read(
   if (it->second.offset == kVirtualOffset) {
     return zero_page(it->second.size);
   }
-  return std::span(data_.data() + it->second.offset, it->second.size);
+  const std::span payload(data_.data() + it->second.offset, it->second.size);
+  if (crc32(payload) != it->second.crc) {
+    g_chunk_crc_failures.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return payload;
+}
+
+std::vector<Fingerprint> Container::corrupt_chunks() const {
+  std::vector<Fingerprint> bad;
+  for (const auto& [fp, entry] : entries_) {
+    if (entry.offset == kVirtualOffset) continue;
+    const std::span payload(data_.data() + entry.offset, entry.size);
+    if (crc32(payload) != entry.crc) bad.push_back(fp);
+  }
+  return bad;
 }
 
 std::optional<ContainerEntry> Container::find(
@@ -94,7 +123,7 @@ void Container::compact() {
 
 std::vector<std::uint8_t> Container::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(data_.size() + entries_.size() * 28 + 64);
+  out.reserve(data_.size() + entries_.size() * 32 + 64);
   put_u32(out, kMagic);
   put_u32(out, static_cast<std::uint32_t>(id_));
   put_u32(out, static_cast<std::uint32_t>(capacity_));
@@ -104,6 +133,7 @@ std::vector<std::uint8_t> Container::serialize() const {
     out.insert(out.end(), fp.bytes.begin(), fp.bytes.end());
     put_u32(out, entry.offset);
     put_u32(out, entry.size);
+    put_u32(out, entry.crc);
   }
   out.insert(out.end(), data_.begin(), data_.end());
   put_u32(out, crc32(out.data(), out.size()));
@@ -121,7 +151,7 @@ std::optional<Container> Container::deserialize(
   const std::uint32_t capacity = get_u32(bytes.data() + 8);
   const std::uint32_t count = get_u32(bytes.data() + 12);
   const std::uint32_t data_size = get_u32(bytes.data() + 16);
-  const std::size_t table_bytes = std::size_t{count} * 28;
+  const std::size_t table_bytes = std::size_t{count} * 32;
   if (bytes.size() != 20 + table_bytes + data_size + 4) return std::nullopt;
 
   Container c(id, capacity);
@@ -131,8 +161,8 @@ std::optional<Container> Container::deserialize(
     Fingerprint fp;
     std::memcpy(fp.bytes.data(), p, kFingerprintSize);
     p += kFingerprintSize;
-    ContainerEntry entry{get_u32(p), get_u32(p + 4)};
-    p += 8;
+    ContainerEntry entry{get_u32(p), get_u32(p + 4), get_u32(p + 8)};
+    p += 12;
     if (entry.offset == kVirtualOffset) {
       c.virtual_bytes_ += entry.size;
     } else if (std::size_t{entry.offset} + entry.size > c.data_.size()) {

@@ -30,7 +30,17 @@ inline constexpr ContainerId kCidActive = 0;
 struct ContainerEntry {
   std::uint32_t offset = 0;
   std::uint32_t size = 0;
+  // CRC-32 of the chunk payload, computed at add() time and re-checked on
+  // every read() — corruption is caught at chunk granularity, not only when
+  // a whole serialized container fails its trailer CRC. 0 for
+  // metadata-only (virtual) chunks, which carry no payload.
+  std::uint32_t crc = 0;
 };
+
+// Process-wide count of chunk reads whose payload CRC did not match the
+// recorded one (mirrored into each system's metrics registry as
+// `io_crc_failures`). Monotonic; never reset.
+[[nodiscard]] std::uint64_t chunk_crc_failures() noexcept;
 
 class Container {
  public:
@@ -62,9 +72,14 @@ class Container {
     return entries_.contains(fp);
   }
 
-  // Returns the chunk bytes, or nullopt if absent.
+  // Returns the chunk bytes, or nullopt if absent OR if the payload fails
+  // its per-chunk CRC (the failure is counted in chunk_crc_failures()).
   [[nodiscard]] std::optional<std::span<const std::uint8_t>> read(
       const Fingerprint& fp) const noexcept;
+
+  // fsck support: recomputes every stored payload's CRC against its entry.
+  // Returns the fingerprints that fail; does not touch the failure counter.
+  [[nodiscard]] std::vector<Fingerprint> corrupt_chunks() const;
 
   [[nodiscard]] std::optional<ContainerEntry> find(
       const Fingerprint& fp) const noexcept;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "verify/invariant.h"
+
 namespace hds {
 
 ContainerId ContainerStore::write(Container container) {
@@ -15,6 +17,11 @@ ContainerId ContainerStore::write(Container container) {
 
 void ContainerStore::put(Container container) {
   const ContainerId id = container.id();
+  // Sealing invariants: archival IDs are strictly positive (0 is the active
+  // class, negatives are chain links) and containers never overflow.
+  HDS_CHECK(id > 0, "archival container sealed with a non-archival ID");
+  HDS_CHECK(container.data_size() <= container.capacity(),
+            "archival container sealed beyond its capacity");
   stats_.container_writes++;
   stats_.bytes_written += container.data_size();
   if (m_writes_ != nullptr) {

@@ -1,0 +1,98 @@
+// HDS_INVARIANT / HDS_CHECK — in-process structural assertions.
+//
+// The fsck checker (src/verify/fsck.h) validates the paper's invariants
+// offline; these macros embed the same predicates inline at the
+// version-boundary transitions (cache rotation, cold eviction, pool
+// compaction, recipe finalization, container sealing) so tier-1 tests
+// exercise them on every run.
+//
+// Both macros compile out completely unless the build defines HDS_VERIFY
+// (cmake -DHDS_VERIFY=ON); condition and message expressions are not
+// evaluated in normal builds. On failure the installed handler runs — the
+// default prints the expression and location to stderr and aborts; tests
+// install a recording handler to assert that violations are caught.
+//
+// This header is deliberately header-only (inline state) so that low-level
+// libraries (hds_storage, hds_core) can assert without linking against
+// hds_verify, which sits above them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hds::verify {
+
+// Handler invoked when a compiled-in invariant fails. The default aborts;
+// a test handler may record and return (execution then continues past the
+// failed check) or throw.
+using InvariantHandler = void (*)(const char* expr, const char* file,
+                                  int line, const std::string& message);
+
+namespace detail {
+inline std::atomic<std::uint64_t>& check_counter() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline std::atomic<InvariantHandler>& handler_slot() noexcept {
+  static std::atomic<InvariantHandler> handler{nullptr};
+  return handler;
+}
+
+inline void count_check() noexcept {
+  check_counter().fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+// Number of HDS_INVARIANT/HDS_CHECK evaluations so far (0 in builds
+// without HDS_VERIFY) — lets tests prove the assertions actually ran.
+[[nodiscard]] inline std::uint64_t invariants_checked() noexcept {
+  return detail::check_counter().load(std::memory_order_relaxed);
+}
+
+// Installs a failure handler; returns the previous one (nullptr = default
+// print-and-abort). Pass nullptr to restore the default.
+inline InvariantHandler set_invariant_handler(InvariantHandler handler) {
+  return detail::handler_slot().exchange(handler);
+}
+
+inline void invariant_failed(const char* expr, const char* file, int line,
+                             const std::string& message) {
+  if (InvariantHandler handler = detail::handler_slot().load()) {
+    handler(expr, file, line, message);
+    return;
+  }
+  std::fprintf(stderr, "[hds] invariant violated at %s:%d: %s%s%s\n", file,
+               line, expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace hds::verify
+
+#if defined(HDS_VERIFY)
+// Bare structural assertion: HDS_INVARIANT(t2.empty()).
+#define HDS_INVARIANT(cond)                                             \
+  do {                                                                  \
+    ::hds::verify::detail::count_check();                               \
+    if (!(cond)) {                                                      \
+      ::hds::verify::invariant_failed(#cond, __FILE__, __LINE__,        \
+                                      std::string());                   \
+    }                                                                   \
+  } while (false)
+// Assertion with a diagnostic message, built only on failure:
+// HDS_CHECK(count <= 1, "sparse containers survived compaction").
+#define HDS_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    ::hds::verify::detail::count_check();                               \
+    if (!(cond)) {                                                      \
+      ::hds::verify::invariant_failed(#cond, __FILE__, __LINE__,        \
+                                      std::string(msg));                \
+    }                                                                   \
+  } while (false)
+#else
+#define HDS_INVARIANT(cond) ((void)0)
+#define HDS_CHECK(cond, msg) ((void)0)
+#endif

@@ -85,7 +85,8 @@ void VersionChainGenerator::apply_edits() {
 
   // 2. Modify runs: replace chunk ids with fresh content. A slice of the
   // removed runs only skips this version (macos redundancy window of 2).
-  std::size_t to_modify = static_cast<std::size_t>(mod * n);
+  std::size_t to_modify =
+      static_cast<std::size_t>(mod * static_cast<double>(n));
   while (to_modify > 0 && !current_.empty()) {
     const std::size_t start = rng_.next_below(current_.size());
     const std::size_t len =
@@ -105,7 +106,8 @@ void VersionChainGenerator::apply_edits() {
   }
 
   // 3. Delete runs.
-  std::size_t to_delete = static_cast<std::size_t>(del * n);
+  std::size_t to_delete =
+      static_cast<std::size_t>(del * static_cast<double>(n));
   while (to_delete > 0 && current_.size() > 1) {
     const std::size_t start = rng_.next_below(current_.size());
     const std::size_t len =
@@ -115,7 +117,8 @@ void VersionChainGenerator::apply_edits() {
   }
 
   // 4. Insert runs of new chunks (some duplicating existing content).
-  std::size_t to_insert = static_cast<std::size_t>(ins * n);
+  std::size_t to_insert =
+      static_cast<std::size_t>(ins * static_cast<double>(n));
   while (to_insert > 0) {
     const std::size_t start = rng_.next_below(current_.size() + 1);
     const std::size_t len = std::min(run_length(), to_insert);

@@ -110,7 +110,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{"gcc", Recommendation::kWindowOne},
                       std::pair{"fslhomes", Recommendation::kWindowOne},
                       std::pair{"macos", Recommendation::kWindowTwo}),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& suite_info) { return std::string(suite_info.param.first); });
 
 }  // namespace
 }  // namespace hds

@@ -83,8 +83,8 @@ INSTANTIATE_TEST_SUITE_P(Indexes, GcTest,
                          ::testing::Values(BaselineKind::kDdfs,
                                            BaselineKind::kSparse,
                                            BaselineKind::kSilo),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case BaselineKind::kDdfs: return "ddfs";
                              case BaselineKind::kSparse: return "sparse";
                              case BaselineKind::kSilo: return "silo";

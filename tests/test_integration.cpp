@@ -202,9 +202,9 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(ProfilesBySystems, SweepTest,
                          ::testing::ValuesIn(sweep_cases()),
-                         [](const auto& info) {
-                           std::string name = std::string(info.param.profile) +
-                                              "_" + info.param.system;
+                         [](const auto& suite_info) {
+                           std::string name = std::string(suite_info.param.profile) +
+                                              "_" + suite_info.param.system;
                            for (auto& c : name) {
                              if (c == '+') c = '_';
                            }

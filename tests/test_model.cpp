@@ -131,9 +131,9 @@ std::vector<FuzzCase> fuzz_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzzTest,
                          ::testing::ValuesIn(fuzz_cases()),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param.seed) +
-                                  "_w" + std::to_string(info.param.window);
+                         [](const auto& suite_info) {
+                           return "seed" + std::to_string(suite_info.param.seed) +
+                                  "_w" + std::to_string(suite_info.param.window);
                          });
 
 }  // namespace

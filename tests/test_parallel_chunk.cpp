@@ -108,8 +108,8 @@ INSTANTIATE_TEST_SUITE_P(AllChunkers, ParallelChunkAllKinds,
                                            ChunkerKind::kTttd,
                                            ChunkerKind::kFastCdc,
                                            ChunkerKind::kAe),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case ChunkerKind::kFixed: return "fixed";
                              case ChunkerKind::kRabin: return "rabin";
                              case ChunkerKind::kTttd: return "tttd";

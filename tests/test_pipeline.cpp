@@ -92,8 +92,8 @@ INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTest,
                                            BaselineKind::kSiloCapping,
                                            BaselineKind::kSiloAlacc,
                                            BaselineKind::kSiloFbw),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case BaselineKind::kDdfs: return "ddfs";
                              case BaselineKind::kSparse: return "sparse";
                              case BaselineKind::kSilo: return "silo";

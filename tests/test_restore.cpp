@@ -138,8 +138,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RestorePolicyKind::kContainerLru,
                       RestorePolicyKind::kChunkLru, RestorePolicyKind::kFaa,
                       RestorePolicyKind::kAlacc, RestorePolicyKind::kFbw),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& suite_info) {
+      switch (suite_info.param) {
         case RestorePolicyKind::kNoCache: return "nocache";
         case RestorePolicyKind::kContainerLru: return "container_lru";
         case RestorePolicyKind::kChunkLru: return "chunk_lru";

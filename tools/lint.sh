@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party translation
+# unit in the compile database. Used by the `lint` CMake target:
+#
+#   cmake -B build -S .          # exports compile_commands.json
+#   cmake --build build --target lint
+#
+# Exits 0 with a notice when clang-tidy is not installed (the CI lint job
+# installs it; local toolchains may not have it), 1 on any finding —
+# .clang-tidy sets WarningsAsErrors: '*'.
+set -u
+
+build_dir="${1:-build}"
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "lint: ${build_dir}/compile_commands.json not found" \
+       "(configure with cmake first)" >&2
+  exit 1
+fi
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "${tidy}" ]; then
+  echo "lint: clang-tidy not installed — skipping (CI runs the real pass)"
+  exit 0
+fi
+
+# First-party TUs only: the compile database also covers _deps (googletest).
+# The lint target runs this from the source root, so filter against cwd.
+mapfile -t sources < <(python3 - "${build_dir}" <<'EOF'
+import json, os, sys
+build = sys.argv[1]
+root = os.getcwd()
+with open(os.path.join(build, "compile_commands.json")) as f:
+    entries = json.load(f)
+keep = set()
+for entry in entries:
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "tests/", "bench/", "examples/")):
+        keep.add(path)
+print("\n".join(sorted(keep)))
+EOF
+)
+
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "lint: no first-party sources in the compile database" >&2
+  exit 1
+fi
+
+echo "lint: clang-tidy over ${#sources[@]} translation units"
+status=0
+runner="$(command -v run-clang-tidy || true)"
+if [ -n "${runner}" ]; then
+  "${runner}" -quiet -p "${build_dir}" "${sources[@]}" || status=1
+else
+  for source in "${sources[@]}"; do
+    "${tidy}" --quiet -p "${build_dir}" "${source}" || status=1
+  done
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit "${status}"
