@@ -18,6 +18,13 @@
 //                                                (Prometheus text by default)
 //   hds_tool fsck    <repo> [--json]             verify every store invariant
 //                                                (exit 0 clean, 1 violations)
+//   hds_tool recover <repo> [--json]             run crash recovery and print
+//                                                its report (exit 0 if the
+//                                                repository opened, 1 if not)
+//
+// Every command runs crash recovery on open: an interrupted backup rolls
+// back to the last committed version, with a one-line notice on stderr
+// (run `recover` for the full report).
 //
 // Observability flags (any command):
 //   --metrics-out=<file>   write a JSON metrics snapshot after the command
@@ -49,6 +56,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "restore/faa.h"
+#include "storage/durable.h"
 #include "verify/fsck.h"
 
 namespace fs = std::filesystem;
@@ -110,18 +118,34 @@ FileCatalog load_catalog(const fs::path& repo) {
   return catalog ? std::move(*catalog) : FileCatalog{};
 }
 
+// Atomic: a crash mid-write never leaves a torn catalog. Fails loudly —
+// a silently dropped catalog would strand restore-file.
 void save_catalog(const fs::path& repo, const FileCatalog& catalog) {
-  const auto bytes = catalog.serialize();
-  std::ofstream out(repo / "catalog.hds",
-                    std::ios::binary | std::ios::trunc);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+  try {
+    durable::atomic_write_file(repo / "catalog.hds", catalog.serialize());
+  } catch (const durable::WriteError& e) {
+    std::fprintf(stderr, "error: cannot write catalog: %s\n", e.what());
+    std::exit(1);
+  }
+}
+
+// Drops catalog entries for versions the store no longer retains (expired,
+// or rolled back by crash recovery).
+void trim_catalog(const fs::path& repo, const HiDeStore& sys) {
+  auto catalog = load_catalog(repo);
+  bool changed = false;
+  for (const VersionId v : catalog.versions()) {
+    if (v > sys.latest_version() || v < sys.oldest_version()) {
+      changed = catalog.erase_version(v) || changed;
+    }
+  }
+  if (changed) save_catalog(repo, catalog);
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
-               "files|restore-file|stats|fsck <repo> [args]\n"
+               "files|restore-file|stats|fsck|recover <repo> [args]\n"
                "       [--metrics-out=<file>] [--trace-out=<file>] "
                "[--json] [--threads=N]\n");
   return 2;
@@ -141,11 +165,12 @@ bool finish_observability(HiDeStore& sys, const ObsOptions& options,
   bool ok = true;
   if (!options.metrics_out.empty()) {
     sys.refresh_gauges();
-    std::ofstream out(options.metrics_out, std::ios::trunc);
-    out << sys.metrics().to_json();
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                   options.metrics_out.c_str());
+    try {
+      durable::atomic_write_file(options.metrics_out,
+                                 std::string_view(sys.metrics().to_json()));
+    } catch (const durable::WriteError& e) {
+      std::fprintf(stderr, "error: cannot write metrics to %s: %s\n",
+                   options.metrics_out.c_str(), e.what());
       ok = false;
     }
   }
@@ -157,8 +182,9 @@ bool finish_observability(HiDeStore& sys, const ObsOptions& options,
   return ok;
 }
 
-std::unique_ptr<HiDeStore> open_repo(const fs::path& repo) {
-  auto sys = HiDeStore::load(repo);
+std::unique_ptr<HiDeStore> open_repo(const fs::path& repo,
+                                     RecoveryReport& recovery) {
+  auto sys = HiDeStore::open(repo, &recovery);
   if (!sys) {
     std::fprintf(stderr, "error: %s is not a repository (run init)\n",
                  repo.string().c_str());
@@ -211,8 +237,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto sys = open_repo(repo);
+  RecoveryReport recovery;
+  auto sys = command == "recover" ? HiDeStore::open(repo, &recovery)
+                                  : open_repo(repo, recovery);
+
+  if (command == "recover") {
+    const auto text =
+        options.json ? recovery.to_json() + "\n" : recovery.to_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (sys) trim_catalog(repo, *sys);
+    return recovery.opened ? 0 : 1;
+  }
   if (!sys) return 1;
+  if (recovery.performed) {
+    std::fprintf(stderr,
+                 "recovery: repaired to epoch %llu (version %u); run "
+                 "`hds_tool recover %s` for details\n",
+                 static_cast<unsigned long long>(recovery.committed_epoch),
+                 recovery.committed_version, repo.string().c_str());
+    trim_catalog(repo, *sys);
+  }
 
   // The tracer lives at tool scope so every phase of the command — chunking
   // included — lands in one timeline.
@@ -315,6 +359,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: no such version: %u\n", version);
       return 1;
     }
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: short write to %s\n", arg_at(3));
+      return 1;
+    }
     std::printf("restored v%u: %.2f MB, %llu container reads, "
                 "%.2f MB/read, %llu failed chunks\n",
                 version,
@@ -370,6 +419,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::ofstream out(arg_at(4), std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", arg_at(4));
+      return 1;
+    }
     RestoreConfig config;
     FaaRestore policy(config);
     const auto report = sys->restore_range(
@@ -378,6 +431,11 @@ int main(int argc, char** argv) {
           out.write(reinterpret_cast<const char*>(bytes.data()),
                     static_cast<std::streamsize>(bytes.size()));
         });
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: short write to %s\n", arg_at(4));
+      return 1;
+    }
     std::printf("restored %s (%llu bytes) with %llu container reads\n",
                 arg_at(3), static_cast<unsigned long long>(entry->length),
                 static_cast<unsigned long long>(

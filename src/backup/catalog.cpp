@@ -20,6 +20,14 @@ bool FileCatalog::erase_version(VersionId version) {
   return versions_.erase(version) > 0;
 }
 
+std::vector<VersionId> FileCatalog::versions() const {
+  std::vector<VersionId> out;
+  out.reserve(versions_.size());
+  for (const auto& [version, files] : versions_) out.push_back(version);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 const std::vector<CatalogEntry>* FileCatalog::files(
     VersionId version) const noexcept {
   const auto it = versions_.find(version);

@@ -38,6 +38,9 @@ class FileCatalog {
   [[nodiscard]] std::size_t version_count() const noexcept {
     return versions_.size();
   }
+  // Cataloged versions, ascending — recovery trims entries the store
+  // rolled back.
+  [[nodiscard]] std::vector<VersionId> versions() const;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static std::optional<FileCatalog> deserialize(

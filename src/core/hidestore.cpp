@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "common/byte_io.h"
 #include "common/crc32.h"
 #include "obs/log.h"
+#include "storage/durable.h"
+#include "storage/manifest.h"
 #include "restore/faa.h"
 #include "restore/partial.h"
 #include "restore/read_ahead.h"
@@ -473,10 +476,55 @@ std::size_t HiDeStore::flatten_recipes() {
 
 namespace {
 constexpr std::uint32_t kStateMagic = 0x48445353;  // "HDSS"
-// Format 2: embedded container blobs carry the per-chunk CRC column
-// (container.cpp kMagic "HDSE").
-constexpr std::uint32_t kStateFormat = 2;
+// Format 3: a commit epoch (u64) follows the format field, tying the
+// snapshot to its MANIFEST record. Format 2 (pre-journal, per-chunk CRC
+// column) files are still accepted and adopt epoch 1 on load.
+constexpr std::uint32_t kStateFormat = 3;
+constexpr std::uint32_t kStateFormatLegacy = 2;
 constexpr const char* kStateFile = "state.hds";
+// Rename-aside copy of the committed state, alive only inside a save():
+// present on open() => a save crashed, and the journal decides which of
+// the two snapshots is the committed one.
+constexpr const char* kStatePrevFile = "state.prev.hds";
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in && !bytes.empty()) return std::nullopt;
+  return bytes;
+}
+
+// Reads just enough of a (possibly uncommitted) format-3 snapshot to say
+// which versions rolling it back discards. Tolerates a bad CRC trailer —
+// the prefix is all that is needed.
+struct StateHeader {
+  std::uint64_t epoch = 0;
+  VersionId next_version = 0;
+};
+std::optional<StateHeader> peek_state_header(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  std::uint32_t magic, format;
+  if (!reader.u32(magic) || magic != kStateMagic) return std::nullopt;
+  if (!reader.u32(format) || format != kStateFormat) return std::nullopt;
+  StateHeader header;
+  if (!reader.u64(header.epoch)) return std::nullopt;
+  std::uint64_t u64v;
+  double f64v;
+  std::uint32_t u32v;
+  std::uint8_t u8v;
+  if (!reader.u64(u64v) || !reader.f64(f64v) || !reader.u32(u32v) ||
+      !reader.u8(u8v) || !reader.u8(u8v) || !reader.u8(u8v) ||
+      !reader.u32(header.next_version)) {
+    return std::nullopt;
+  }
+  return header;
+}
 }  // namespace
 
 void HiDeStore::save(const std::filesystem::path& dir) {
@@ -490,9 +538,11 @@ void HiDeStore::save(const std::filesystem::path& dir) {
   }
   std::filesystem::create_directories(dir);
 
+  const std::uint64_t epoch = epoch_ + 1;
   ByteWriter writer;
   writer.u32(kStateMagic);
   writer.u32(kStateFormat);
+  writer.u64(epoch);
   writer.u64(config_.container_size);
   writer.f64(config_.compaction_threshold);
   writer.u32(static_cast<std::uint32_t>(config_.cache_window));
@@ -536,35 +586,287 @@ void HiDeStore::save(const std::filesystem::path& dir) {
   ByteWriter trailer;
   trailer.u32(crc);
   bytes.insert(bytes.end(), trailer.bytes().begin(), trailer.bytes().end());
+  // The journal vouches for the published file byte-for-byte, so its CRC
+  // covers the trailer too (unlike `crc`, which the trailer itself stores).
+  const std::uint32_t file_crc = crc32(bytes.data(), bytes.size());
 
-  std::ofstream out(dir / kStateFile, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("HiDeStore::save: cannot open file");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("HiDeStore::save: short write");
+  const auto state_path = dir / kStateFile;
+  const auto prev_path = dir / kStatePrevFile;
+
+  // Commit protocol: (1) move the committed state aside, (2) write the new
+  // state atomically, (3) append to the MANIFEST — its rename is the commit
+  // point — then (4) drop the aside copy. A crash at any step leaves either
+  // the old or the new version fully recoverable by open().
+  bool wrote = false;
+  try {
+    if (std::filesystem::exists(state_path)) {
+      durable::atomic_rename(state_path, prev_path);
+    }
+    durable::atomic_write_file(state_path, bytes);
+    wrote = true;
+
+    Manifest manifest;
+    if (load_manifest(dir, manifest) != ManifestStatus::kOk ||
+        (manifest.head() != nullptr && manifest.head()->epoch >= epoch)) {
+      // Foreign, corrupt or future-dated journal: restart it rather than
+      // publish a record the existing history contradicts.
+      manifest.records.clear();
+    }
+    CommitRecord record;
+    record.epoch = epoch;
+    record.next_version = next_version_;
+    record.oldest_version = oldest_version_;
+    record.store_next = store_->next_id();
+    record.state_size = bytes.size();
+    record.state_crc = file_crc;
+    manifest.append(record);
+    store_manifest(dir, manifest);
+  } catch (const durable::InjectedCrash&) {
+    throw;  // simulated crash: leave the directory exactly as a crash would
+  } catch (...) {
+    // Real write failure (disk full, permissions): roll the directory back
+    // so the previously committed version is the visible one again. Only
+    // remove state.hds if this save actually wrote it — the failure may
+    // have struck before or during the aside rename, while state.hds was
+    // still the committed copy. The in-memory system (and epoch_) is
+    // untouched; the caller may retry.
+    std::error_code ec;
+    if (wrote) std::filesystem::remove(state_path, ec);
+    if (std::filesystem::exists(prev_path, ec) &&
+        !std::filesystem::exists(state_path, ec)) {
+      std::filesystem::rename(prev_path, state_path, ec);
+    }
+    throw;
+  }
+  epoch_ = epoch;
+  std::error_code ec;
+  std::filesystem::remove(prev_path, ec);  // best-effort; open() also cleans
 }
 
 std::unique_ptr<HiDeStore> HiDeStore::load(
     const std::filesystem::path& dir) {
-  std::ifstream in(dir / kStateFile, std::ios::binary | std::ios::ate);
-  if (!in) return nullptr;
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!in || bytes.size() < 12) return nullptr;
+  return open(dir, nullptr);
+}
+
+std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
+                                           RecoveryReport* report_out) {
+  RecoveryReport local;
+  RecoveryReport& report = report_out != nullptr ? *report_out : local;
+  report = RecoveryReport{};
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return nullptr;
+
+  // 1. Sweep atomic-writer debris: a *.tmp file is by construction an
+  // unpublished partial write from a crashed process.
+  std::size_t swept = 0;
+  for (const char* sub : {".", "archival"}) {
+    const auto subdir = dir / sub;
+    if (!std::filesystem::is_directory(subdir, ec)) continue;
+    std::vector<std::filesystem::path> debris;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(subdir, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+        debris.push_back(entry.path());
+      }
+    }
+    for (const auto& path : debris) {
+      quarantine_file(dir, path, report);
+      ++swept;
+    }
+  }
+  if (swept > 0) {
+    report.notes.push_back("swept " + std::to_string(swept) +
+                           " partial write(s) (*.tmp)");
+  }
+
+  // 2. The journal names the newest committed version.
+  Manifest manifest;
+  const ManifestStatus status = load_manifest(dir, manifest);
+  if (status == ManifestStatus::kCorrupt) {
+    quarantine_file(dir, dir / Manifest::kFileName, report);
+    report.notes.push_back("MANIFEST unreadable; quarantined (rebuilding)");
+  }
+  const CommitRecord* head = manifest.head();
+
+  const auto state_path = dir / kStateFile;
+  const auto prev_path = dir / kStatePrevFile;
+  auto state_bytes = read_file_bytes(state_path);
+  auto prev_bytes = read_file_bytes(prev_path);
+
+  const auto matches = [](const std::optional<std::vector<std::uint8_t>>& b,
+                          const CommitRecord& r) {
+    return b.has_value() && b->size() == r.state_size &&
+           crc32(b->data(), b->size()) == r.state_crc;
+  };
+
+  // 3. Pick the snapshot to trust. The committed one is whichever file the
+  // journal head vouches for byte-for-byte; with no usable journal, fall
+  // back to the newest parseable candidate and rebuild the journal from it.
+  std::unique_ptr<HiDeStore> sys;
+  const std::vector<std::uint8_t>* committed_bytes = nullptr;
+  bool manifest_trusted = false;
+
+  if (head != nullptr && matches(state_bytes, *head)) {
+    sys = parse_state(dir, *state_bytes);
+    if (sys != nullptr) {
+      committed_bytes = &*state_bytes;
+      manifest_trusted = true;
+      if (prev_bytes.has_value()) {
+        // Crash after the commit point but before cleanup: the aside copy
+        // of the prior version is committed debris.
+        std::filesystem::remove(prev_path, ec);
+        report.performed = true;
+        report.notes.push_back(
+            "removed leftover state.prev.hds (crash after commit)");
+      }
+    }
+  }
+  if (sys == nullptr && head != nullptr && matches(prev_bytes, *head)) {
+    sys = parse_state(dir, *prev_bytes);
+    if (sys != nullptr) {
+      // Crash between the state rename and the journal commit: state.hds
+      // (if present) is an uncommitted version. Quarantine it, promote the
+      // aside copy back.
+      if (state_bytes.has_value()) {
+        if (const auto hdr = peek_state_header(*state_bytes);
+            hdr.has_value() && hdr->next_version > head->next_version) {
+          report.rolled_back_versions =
+              hdr->next_version - head->next_version;
+        }
+        quarantine_file(dir, state_path, report);
+      }
+      std::filesystem::rename(prev_path, state_path, ec);
+      committed_bytes = &*prev_bytes;
+      manifest_trusted = true;
+      report.performed = true;
+      report.notes.push_back("rolled back to committed epoch " +
+                             std::to_string(head->epoch));
+    }
+  }
+  if (sys == nullptr) {
+    if (head != nullptr) {
+      report.performed = true;
+      report.notes.push_back(
+          "no state file matches the MANIFEST head; best-effort open");
+    }
+    if (state_bytes.has_value()) {
+      sys = parse_state(dir, *state_bytes);
+      if (sys != nullptr) {
+        committed_bytes = &*state_bytes;
+        if (prev_bytes.has_value()) {
+          // state.hds is the newest parseable snapshot; the aside copy is
+          // an older one whose committal we can no longer judge. Keep it
+          // out of the way but recoverable.
+          quarantine_file(dir, prev_path, report);
+        }
+      } else {
+        quarantine_file(dir, state_path, report);
+        report.notes.push_back("state.hds unreadable; quarantined");
+      }
+    }
+    if (sys == nullptr && prev_bytes.has_value()) {
+      sys = parse_state(dir, *prev_bytes);
+      if (sys != nullptr) {
+        std::filesystem::rename(prev_path, state_path, ec);
+        committed_bytes = &*prev_bytes;
+        report.performed = true;
+        report.notes.push_back("promoted state.prev.hds to state.hds");
+      } else {
+        quarantine_file(dir, prev_path, report);
+        report.notes.push_back("state.prev.hds unreadable; quarantined");
+      }
+    }
+  }
+  if (sys == nullptr) {
+    // Nothing committed is recoverable. Report what the journal knows.
+    if (head != nullptr) {
+      report.committed_epoch = head->epoch;
+      report.committed_version = head->next_version - 1;
+    }
+    return nullptr;
+  }
+
+  // 4. Reconcile the container directory with the committed deletion tags.
+  if (auto* fstore = dynamic_cast<FileContainerStore*>(sys->store_.get())) {
+    auto on_disk = fstore->ids();
+    std::sort(on_disk.begin(), on_disk.end());
+    for (const ContainerId id : on_disk) {
+      if (sys->container_version_.contains(id)) continue;
+      // Sealed by a transaction that never committed: an orphan.
+      report.orphan_containers.push_back(id);
+      quarantine_file(dir, fstore->container_path(id), report);
+      fstore->forget(id);
+    }
+    for (const auto& [id, version] : sys->container_version_) {
+      if (!std::filesystem::exists(fstore->container_path(id), ec)) {
+        report.missing_containers.push_back(id);
+      }
+    }
+    std::sort(report.missing_containers.begin(),
+              report.missing_containers.end());
+    if (!report.missing_containers.empty()) {
+      report.notes.push_back(
+          std::to_string(report.missing_containers.size()) +
+          " tagged archival container(s) missing — affected versions "
+          "cannot fully restore");
+    }
+  }
+
+  // 5. With no trustworthy journal, rebuild it from the snapshot we loaded
+  // so the next open() (and fsck) has a commit record to check against.
+  if (!manifest_trusted) {
+    if (sys->epoch_ == 0) sys->epoch_ = 1;
+    Manifest rebuilt;
+    CommitRecord record;
+    record.epoch = sys->epoch_;
+    record.next_version = sys->next_version_;
+    record.oldest_version = sys->oldest_version_;
+    record.store_next = sys->store_->next_id();
+    record.state_size = committed_bytes->size();
+    record.state_crc = crc32(committed_bytes->data(),
+                             committed_bytes->size());
+    rebuilt.append(record);
+    try {
+      store_manifest(dir, rebuilt);
+      report.performed = true;
+      report.notes.push_back("rebuilt MANIFEST at epoch " +
+                             std::to_string(record.epoch));
+    } catch (const durable::WriteError& e) {
+      report.notes.push_back(std::string("could not rebuild MANIFEST: ") +
+                             e.what());
+    }
+  }
+
+  report.opened = true;
+  report.committed_epoch = sys->epoch_;
+  report.committed_version = sys->latest_version();
+  sys->refresh_gauges();
+  return sys;
+}
+
+std::unique_ptr<HiDeStore> HiDeStore::parse_state(
+    const std::filesystem::path& dir, std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 12) return nullptr;
 
   // CRC trailer over the whole body.
   std::uint32_t stored_crc = 0;
   for (int i = 3; i >= 0; --i) {
-    stored_crc = (stored_crc << 8) | bytes[bytes.size() - 4 + i];
+    stored_crc = (stored_crc << 8) | bytes[bytes.size() - 4 +
+                                           static_cast<std::size_t>(i)];
   }
   if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) return nullptr;
 
-  ByteReader reader(std::span(bytes.data(), bytes.size() - 4));
+  ByteReader reader(bytes.subspan(0, bytes.size() - 4));
   std::uint32_t magic, format;
   if (!reader.u32(magic) || magic != kStateMagic) return nullptr;
-  if (!reader.u32(format) || format != kStateFormat) return nullptr;
+  if (!reader.u32(format) ||
+      (format != kStateFormat && format != kStateFormatLegacy)) {
+    return nullptr;
+  }
+  std::uint64_t epoch = 1;  // pre-journal snapshots adopt epoch 1
+  if (format == kStateFormat && !reader.u64(epoch)) return nullptr;
+  if (format == kStateFormat && epoch == 0) return nullptr;
 
   HiDeStoreConfig config;
   std::uint64_t container_size;
@@ -584,6 +886,7 @@ std::unique_ptr<HiDeStore> HiDeStore::load(
   if (inline_archival == 0) config.storage_dir = dir;
 
   auto sys = std::make_unique<HiDeStore>(config);
+  sys->epoch_ = epoch;
   if (inline_archival == 0) {
     // Reopen the on-disk container files and resume the ID counter.
     sys->store_ = make_archival_store(config, /*index_existing=*/true);

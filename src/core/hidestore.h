@@ -18,6 +18,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "backup/backup_system.h"
@@ -25,6 +26,7 @@
 #include "core/active_pool.h"
 #include "core/double_cache.h"
 #include "core/recipe_chain.h"
+#include "core/recovery.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/container_store.h"
@@ -113,13 +115,31 @@ class HiDeStore final : public BackupSystem {
   // --- Repository lifecycle ---
   // Persists the complete system state (config, recipes, active pool,
   // archival containers, deletion tags) into `dir` as a single CRC-guarded
-  // state file. The fingerprint cache is NOT stored: on load it is rebuilt
-  // by prefetching the newest recipes through the active pool, exactly the
+  // state file, then commits it by appending to the MANIFEST journal
+  // (DESIGN.md §9). The whole sequence is crash-atomic: every file goes
+  // through the atomic writer (temp + fsync + rename), the previous state
+  // is kept aside until the journal rename — the commit point — lands, and
+  // a crash at any step leaves either the old or the new version fully
+  // recoverable by open(). On a non-crash write failure (e.g. disk full)
+  // save() throws durable::WriteError after rolling the directory back to
+  // the previously committed version; the in-memory system is unaffected.
+  // The fingerprint cache is NOT stored: on load it is rebuilt by
+  // prefetching the newest recipes through the active pool, exactly the
   // paper's §4.1 prefetch path.
   void save(const std::filesystem::path& dir);
-  // Reconstructs a system from a save() directory; nullptr on any
-  // corruption or format mismatch.
+  // Reconstructs a system from a save() directory, running crash recovery
+  // first: rolls back to the newest version the MANIFEST vouches for,
+  // quarantines anything an aborted commit left behind (uncommitted state,
+  // orphan containers, temp files) and reports what it did through
+  // `report` (optional). nullptr if nothing committed is recoverable — the
+  // report still describes what was found.
+  static std::unique_ptr<HiDeStore> open(const std::filesystem::path& dir,
+                                         RecoveryReport* report = nullptr);
+  // Equivalent to open(dir) discarding the report; kept as the historical
+  // entry point.
   static std::unique_ptr<HiDeStore> load(const std::filesystem::path& dir);
+  // Journal epoch of the last committed save (0 = never saved).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   // Removes every version up to and including `version` (oldest-first
   // retirement). Cold chunks of expired versions live in archival
@@ -181,6 +201,11 @@ class HiDeStore final : public BackupSystem {
   }
 
  private:
+  // Deserializes one state snapshot into a fresh system; nullptr on any
+  // corruption or format mismatch. open() picks which snapshot to trust.
+  static std::unique_ptr<HiDeStore> parse_state(
+      const std::filesystem::path& dir, std::span<const std::uint8_t> bytes);
+
   // Pre-registers every metric name so exporters always show the complete
   // set (in particular `index_disk_lookups` at 0 — the §4.1 claim).
   void register_metrics();
@@ -211,6 +236,8 @@ class HiDeStore final : public BackupSystem {
   RecipeStore recipes_;
   VersionId next_version_ = 1;
   VersionId oldest_version_ = 1;
+  // MANIFEST journal epoch of the last committed save (0 = never saved).
+  std::uint64_t epoch_ = 0;
   std::size_t read_ahead_depth_ = 0;
   // Process-wide chunk-CRC failure count at construction/load time; the
   // io_crc_failures counter mirrors growth past this baseline.

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "storage/durable.h"
+
 namespace hds::obs {
 
 namespace {
@@ -121,10 +123,14 @@ std::string Tracer::to_json() const {
 }
 
 bool Tracer::dump(const std::filesystem::path& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << to_json();
-  return static_cast<bool>(out);
+  // Atomic (temp + fsync + rename): a crashed or failed export never
+  // leaves a torn trace file where a complete one used to be.
+  try {
+    durable::atomic_write_file(path, std::string_view(to_json()));
+    return true;
+  } catch (const durable::WriteError&) {
+    return false;
+  }
 }
 
 }  // namespace hds::obs

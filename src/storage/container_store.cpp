@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "storage/durable.h"
 #include "verify/invariant.h"
 
 namespace hds {
@@ -22,13 +23,16 @@ void ContainerStore::put(Container container) {
   HDS_CHECK(id > 0, "archival container sealed with a non-archival ID");
   HDS_CHECK(container.data_size() <= container.capacity(),
             "archival container sealed beyond its capacity");
+  const std::uint64_t size = container.data_size();
+  // Count only after do_write returns: a partial or failed write must not
+  // show up as a successful container_write (it previously did).
+  do_write(id, std::move(container));
   stats_.container_writes++;
-  stats_.bytes_written += container.data_size();
+  stats_.bytes_written += size;
   if (m_writes_ != nullptr) {
     m_writes_->inc();
-    m_bytes_written_->inc(container.data_size());
+    m_bytes_written_->inc(size);
   }
-  do_write(id, std::move(container));
 }
 
 std::shared_ptr<const Container> ContainerStore::read(ContainerId id) {
@@ -125,12 +129,11 @@ std::vector<ContainerId> FileContainerStore::ids() const {
 }
 
 void FileContainerStore::do_write(ContainerId id, Container&& container) {
-  const auto bytes = container.serialize();
-  std::ofstream out(path_for(id), std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("FileContainerStore: cannot open file");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("FileContainerStore: short write");
+  // Atomic (temp + fsync + rename): a crash mid-write leaves at worst a
+  // *.tmp file that recovery sweeps, never a torn container at the final
+  // path. Throws durable::WriteError on any failure, before the container
+  // becomes visible in known_.
+  durable::atomic_write_file(path_for(id), container.serialize());
   std::lock_guard lock(mu_);
   known_[id] = true;
 }

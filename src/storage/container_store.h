@@ -65,6 +65,14 @@ class ContainerStore {
   virtual ~ContainerStore() = default;
 
   // Persists `container` and returns its assigned ID (always > 0).
+  //
+  // Failure contract: throws (durable::WriteError from the file backend, or
+  // whatever the backend raises) if the container could not be fully
+  // persisted. On throw, NOTHING is counted — stats(), metrics and the
+  // store's visible container set are exactly as they were before the call;
+  // the reserved ID is consumed but refers to nothing. The file backend
+  // writes atomically (temp + fsync + rename), so a failed or crashed write
+  // never leaves a torn container file at the final path.
   ContainerId write(Container container);
 
   // Reserves the next container ID without writing. Pipelines that fill a
@@ -73,7 +81,8 @@ class ContainerStore {
   // eventually be stored via put().
   [[nodiscard]] ContainerId reserve_id() noexcept { return next_id_++; }
 
-  // Persists a container that already carries a reserved ID.
+  // Persists a container that already carries a reserved ID. Same failure
+  // contract as write(): throws on failure and counts only on success.
   void put(Container container);
 
   // Fetches a container, counting one container read.
@@ -149,6 +158,17 @@ class FileContainerStore final : public ContainerStore {
     return known_.size();
   }
   [[nodiscard]] std::vector<ContainerId> ids() const override;
+
+  // Recovery support: the on-disk path of a container file, and removal of
+  // an ID from the in-memory index without deleting the file — used when
+  // recovery quarantines an orphan (the file is moved aside, not erased).
+  [[nodiscard]] std::filesystem::path container_path(ContainerId id) const {
+    return path_for(id);
+  }
+  bool forget(ContainerId id) {
+    std::lock_guard lock(mu_);
+    return known_.erase(id) > 0;
+  }
 
  protected:
   void do_write(ContainerId id, Container&& container) override;

@@ -1,0 +1,214 @@
+#include "storage/durable.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#if defined(_WIN32)
+#error "durable.cpp requires a POSIX platform"
+#endif
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace hds::durable {
+
+namespace {
+
+std::atomic<int> g_mode{static_cast<int>(FaultMode::kNone)};
+std::atomic<std::uint64_t> g_trigger{0};
+std::atomic<std::uint64_t> g_counter{0};
+std::once_flag g_env_once;
+
+void arm_from_environment() {
+  const char* step = std::getenv("HDS_CRASH_STEP");
+  if (step == nullptr || *step == '\0') return;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(step, &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return;
+  FaultMode mode = FaultMode::kAbort;
+  if (const char* m = std::getenv("HDS_CRASH_MODE")) {
+    const std::string_view v(m);
+    if (v == "throw") {
+      mode = FaultMode::kThrow;
+    } else if (v == "fail") {
+      mode = FaultMode::kFail;
+    }
+  }
+  CrashInjector::arm(n, mode);
+}
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw WriteError(what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+void CrashInjector::arm(std::uint64_t step, FaultMode mode) noexcept {
+  g_counter.store(0, std::memory_order_relaxed);
+  g_trigger.store(step, std::memory_order_relaxed);
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+void CrashInjector::disarm() noexcept {
+  g_mode.store(static_cast<int>(FaultMode::kNone),
+               std::memory_order_release);
+}
+
+bool CrashInjector::armed() noexcept {
+  return g_mode.load(std::memory_order_acquire) !=
+         static_cast<int>(FaultMode::kNone);
+}
+
+std::uint64_t CrashInjector::steps() noexcept {
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+void CrashInjector::crash_point(const char* site) {
+  std::call_once(g_env_once, arm_from_environment);
+  const auto mode =
+      static_cast<FaultMode>(g_mode.load(std::memory_order_acquire));
+  if (mode == FaultMode::kNone) return;
+  const std::uint64_t n =
+      g_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t trigger = g_trigger.load(std::memory_order_relaxed);
+  switch (mode) {
+    case FaultMode::kNone: return;
+    case FaultMode::kThrow:
+      if (n == trigger) {
+        throw InjectedCrash(std::string("injected crash at ") + site);
+      }
+      return;
+    case FaultMode::kAbort:
+      if (n == trigger) std::_Exit(86);  // no cleanup — a real crash
+      return;
+    case FaultMode::kFail:
+      if (n >= trigger) {
+        throw WriteError(std::string("injected write failure at ") + site);
+      }
+      return;
+  }
+}
+
+// --- AtomicFileWriter ---
+
+void AtomicFileWriter::site(const char* name) {
+  try {
+    CrashInjector::crash_point(name);
+  } catch (const InjectedCrash&) {
+    crashed_ = true;  // simulate a dead process: leave the temp file behind
+    throw;
+  }
+}
+
+AtomicFileWriter::AtomicFileWriter(std::filesystem::path path)
+    : path_(std::move(path)), tmp_(path_) {
+  tmp_ += ".tmp";
+  site("create");
+  fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    throw_errno("AtomicFileWriter: cannot create " + tmp_.string(), errno);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_ && !crashed_) abort();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t size) {
+  site("write");
+  const auto* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("AtomicFileWriter: write to " + tmp_.string(), errno);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  site("fsync");
+  if (::fsync(fd_) != 0) {
+    throw_errno("AtomicFileWriter: fsync " + tmp_.string(), errno);
+  }
+  site("rename");
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw_errno("AtomicFileWriter: close " + tmp_.string(), errno);
+  }
+  fd_ = -1;
+  std::error_code ec;
+  std::filesystem::rename(tmp_, path_, ec);
+  if (ec) {
+    throw WriteError("AtomicFileWriter: rename " + tmp_.string() + " -> " +
+                     path_.string() + ": " + ec.message());
+  }
+  committed_ = true;  // the target is in place; debris no longer possible
+  site("dirsync");
+  fsync_directory(path_.parent_path());
+}
+
+void AtomicFileWriter::abort() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_, ec);
+  }
+  committed_ = true;
+}
+
+// --- Helpers ---
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::span<const std::uint8_t> bytes) {
+  AtomicFileWriter out(path);
+  out.write(bytes);
+  out.commit();
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view text) {
+  AtomicFileWriter out(path);
+  out.write(text);
+  out.commit();
+}
+
+void atomic_rename(const std::filesystem::path& from,
+                   const std::filesystem::path& to) {
+  CrashInjector::crash_point("aside-rename");
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    throw WriteError("atomic_rename: " + from.string() + " -> " +
+                     to.string() + ": " + ec.message());
+  }
+  CrashInjector::crash_point("aside-dirsync");
+  fsync_directory(to.parent_path());
+}
+
+void fsync_directory(const std::filesystem::path& dir) {
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    throw_errno("fsync_directory: open " + target.string(), errno);
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw_errno("fsync_directory: fsync " + target.string(), err);
+  }
+}
+
+}  // namespace hds::durable

@@ -1,0 +1,125 @@
+// Crash-consistent file persistence (DESIGN.md §9).
+//
+// Every on-disk artifact of a repository — container files, the state
+// snapshot, the MANIFEST commit journal, the catalog, even trace/metrics
+// exports — goes through AtomicFileWriter: bytes land in `<name>.tmp` with
+// every operation checked, the temp file is fsynced, renamed over the
+// target, and the parent directory is fsynced. A crash at any point leaves
+// either the old file or the new file, never a torn mixture; an I/O error
+// (ENOSPC, EIO) surfaces as WriteError with the original file untouched.
+//
+// CrashInjector is the proving ground: a process-global hook the durable
+// writer calls at every write/fsync/rename site ("crash points"). Tests arm
+// it to throw (in-process crash simulation, partial files intentionally
+// left behind), abort the process (out-of-process kill for shell tests), or
+// fail persistently (full-disk / dying-device simulation through the normal
+// error path). Unarmed, a crash point is a single relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+namespace hds::durable {
+
+// Thrown when a durable write cannot be completed. The failure contract for
+// every writer in this header: on throw, the destination file still holds
+// its previous content (or is still absent) and no store bookkeeping has
+// been updated by the caller yet.
+class WriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by an armed CrashInjector in kThrow mode. Derives from WriteError
+// so production call sites need no special handling, but AtomicFileWriter
+// recognizes it and skips temp-file cleanup — a crashed process would not
+// have cleaned up either, and recovery must cope with the debris.
+class InjectedCrash : public WriteError {
+ public:
+  using WriteError::WriteError;
+};
+
+enum class FaultMode : int {
+  kNone = 0,
+  kThrow,  // the N-th crash point throws InjectedCrash (leaves debris)
+  kAbort,  // the N-th crash point terminates the process immediately
+  kFail,   // every crash point from the N-th on throws WriteError (ENOSPC)
+};
+
+// Process-global crash/fault injection (CrashPoint hook). Thread-safe.
+// Also armed from the environment on first use: HDS_CRASH_STEP=<n> with
+// HDS_CRASH_MODE=abort|throw|fail (abort by default), which is how the
+// shell-level smoke test kills hds_tool mid-backup.
+class CrashInjector {
+ public:
+  // Arms the injector: crash points are counted from 1, and the `step`-th
+  // one triggers `mode`. Resets the step counter.
+  static void arm(std::uint64_t step, FaultMode mode) noexcept;
+  static void disarm() noexcept;
+  [[nodiscard]] static bool armed() noexcept;
+  // Crash points passed since the last arm().
+  [[nodiscard]] static std::uint64_t steps() noexcept;
+
+  // Called by the durable writer at every write/fsync/rename site.
+  static void crash_point(const char* site);
+};
+
+// Writes a file atomically. Typical use:
+//   AtomicFileWriter out(path);
+//   out.write(bytes);
+//   out.commit();
+// Destruction without commit() (including during exception unwind) removes
+// the temp file, except after an InjectedCrash — see above.
+class AtomicFileWriter {
+ public:
+  // Creates `<path>.tmp` for writing. Throws WriteError on failure.
+  explicit AtomicFileWriter(std::filesystem::path path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Appends bytes to the temp file, checking the result. Throws WriteError.
+  void write(const void* data, std::size_t size);
+  void write(std::span<const std::uint8_t> bytes) {
+    write(bytes.data(), bytes.size());
+  }
+  void write(std::string_view text) { write(text.data(), text.size()); }
+
+  // Durably publishes the file: flush + fsync + close + rename over the
+  // target + fsync of the parent directory. Throws WriteError; on throw the
+  // target file is untouched.
+  void commit();
+
+  // Abandons the write and removes the temp file. Idempotent.
+  void abort() noexcept;
+
+ private:
+  void site(const char* name);  // crash point that tags InjectedCrash
+
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  int fd_ = -1;
+  bool committed_ = false;
+  bool crashed_ = false;  // InjectedCrash in flight: leave debris behind
+};
+
+// One-shot helpers over AtomicFileWriter. All throw WriteError.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::span<const std::uint8_t> bytes);
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view text);
+
+// Durable rename: rename + fsync of the parent directory, with crash
+// points. Used to set the current state file aside before a new commit.
+void atomic_rename(const std::filesystem::path& from,
+                   const std::filesystem::path& to);
+
+// fsyncs a directory so a just-renamed entry survives power loss. Throws
+// WriteError.
+void fsync_directory(const std::filesystem::path& dir);
+
+}  // namespace hds::durable

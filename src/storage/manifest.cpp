@@ -1,0 +1,108 @@
+#include "storage/manifest.h"
+
+#include <fstream>
+
+#include "common/byte_io.h"
+#include "common/crc32.h"
+#include "storage/durable.h"
+
+namespace hds {
+
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x4844534D;  // "HDSM"
+constexpr std::uint32_t kManifestFormat = 1;
+}  // namespace
+
+void Manifest::append(const CommitRecord& record) {
+  records.push_back(record);
+  if (records.size() > kMaxRecords) {
+    records.erase(records.begin(),
+                  records.begin() +
+                      static_cast<std::ptrdiff_t>(records.size() -
+                                                  kMaxRecords));
+  }
+}
+
+std::vector<std::uint8_t> Manifest::serialize() const {
+  ByteWriter writer;
+  writer.u32(kManifestMagic);
+  writer.u32(kManifestFormat);
+  writer.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    writer.u64(r.epoch);
+    writer.u32(r.next_version);
+    writer.u32(r.oldest_version);
+    writer.u32(static_cast<std::uint32_t>(r.store_next));
+    writer.u64(r.state_size);
+    writer.u32(r.state_crc);
+  }
+  auto bytes = writer.take();
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  ByteWriter trailer;
+  trailer.u32(crc);
+  bytes.insert(bytes.end(), trailer.bytes().begin(),
+               trailer.bytes().end());
+  return bytes;
+}
+
+std::optional<Manifest> Manifest::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 16) return std::nullopt;
+  std::uint32_t stored_crc = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored_crc = (stored_crc << 8) | bytes[bytes.size() - 4 +
+                                           static_cast<std::size_t>(i)];
+  }
+  if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) {
+    return std::nullopt;
+  }
+  ByteReader reader(bytes.subspan(0, bytes.size() - 4));
+  std::uint32_t magic, format, count;
+  if (!reader.u32(magic) || magic != kManifestMagic) return std::nullopt;
+  if (!reader.u32(format) || format != kManifestFormat) return std::nullopt;
+  if (!reader.u32(count)) return std::nullopt;
+
+  Manifest manifest;
+  manifest.records.reserve(count);
+  std::uint64_t prev_epoch = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CommitRecord r;
+    std::uint32_t store_next;
+    if (!reader.u64(r.epoch) || !reader.u32(r.next_version) ||
+        !reader.u32(r.oldest_version) || !reader.u32(store_next) ||
+        !reader.u64(r.state_size) || !reader.u32(r.state_crc)) {
+      return std::nullopt;
+    }
+    r.store_next = static_cast<ContainerId>(store_next);
+    if (r.epoch == 0 || r.epoch <= prev_epoch) return std::nullopt;
+    prev_epoch = r.epoch;
+    manifest.records.push_back(r);
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return manifest;
+}
+
+ManifestStatus load_manifest(const std::filesystem::path& dir,
+                             Manifest& out) {
+  out.records.clear();
+  const auto path = dir / Manifest::kFileName;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return ManifestStatus::kMissing;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in && !bytes.empty()) return ManifestStatus::kCorrupt;
+  auto manifest = Manifest::deserialize(bytes);
+  if (!manifest) return ManifestStatus::kCorrupt;
+  out = std::move(*manifest);
+  return ManifestStatus::kOk;
+}
+
+void store_manifest(const std::filesystem::path& dir,
+                    const Manifest& manifest) {
+  durable::atomic_write_file(dir / Manifest::kFileName,
+                             manifest.serialize());
+}
+
+}  // namespace hds

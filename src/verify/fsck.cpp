@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/crc32.h"
 #include "core/hidestore.h"
+#include "storage/manifest.h"
 
 namespace hds::verify {
 
@@ -19,7 +24,7 @@ constexpr std::string_view kNames[kInvariantCount] = {
     "container_framing", "deletion_tags",     "chunk_crc",
     "recipe_resolution", "recipe_chain",      "active_resolution",
     "class_exclusivity", "pool_utilization",  "cache_consistency",
-    "accounting",
+    "accounting",        "manifest_commit",   "orphan_containers",
 };
 
 // Accumulates one invariant's result, capping recorded findings.
@@ -541,6 +546,103 @@ FsckCheck check_accounting(const HiDeStore& sys, const StoreView& view,
   return out.take();
 }
 
+// Both §9 durability invariants apply only to persistent repositories: an
+// in-memory system has no journal, and a working directory that was never
+// save()d has nothing to agree with — those skip with zero objects.
+FsckCheck check_manifest_commit(const HiDeStore& sys,
+                                const FsckOptions& opt) {
+  CheckBuilder out(Invariant::kManifestCommit, opt.max_findings);
+  const auto& dir = sys.config().storage_dir;
+  if (dir.empty()) return out.take();
+  Manifest manifest;
+  const ManifestStatus status = load_manifest(dir, manifest);
+  if (status == ManifestStatus::kMissing) return out.take();
+  if (status == ManifestStatus::kCorrupt) {
+    out.expect(false, "MANIFEST", "journal unreadable (CRC/format failure)");
+    return out.take();
+  }
+  const CommitRecord* head = manifest.head();
+  out.expect(head != nullptr, "MANIFEST", "journal holds no commit record");
+  if (head == nullptr) return out.take();
+  out.expect(head->epoch == sys.epoch(), "MANIFEST head",
+             "journal epoch " + std::to_string(head->epoch) +
+                 " disagrees with the live system's epoch " +
+                 std::to_string(sys.epoch()));
+  out.expect(head->next_version == sys.latest_version() + 1,
+             "MANIFEST head",
+             "journal commits up to version " +
+                 std::to_string(head->next_version - 1) +
+                 " but the recipe head is version " +
+                 std::to_string(sys.latest_version()));
+  out.expect(head->oldest_version == sys.oldest_version(), "MANIFEST head",
+             "journal oldest version " +
+                 std::to_string(head->oldest_version) +
+                 " disagrees with the live system's " +
+                 std::to_string(sys.oldest_version()));
+  // The committed state file the record stamps must exist byte-for-byte.
+  std::ifstream in(dir / "state.hds", std::ios::binary | std::ios::ate);
+  if (!in) {
+    out.expect(false, "state.hds", "committed state file is missing");
+    return out.take();
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  out.expect(static_cast<bool>(in) || bytes.empty(), "state.hds",
+             "committed state file is unreadable");
+  out.expect(bytes.size() == head->state_size &&
+                 crc32(bytes.data(), bytes.size()) == head->state_crc,
+             "state.hds",
+             "committed state file does not match the journal's size/CRC "
+             "stamp");
+  return out.take();
+}
+
+FsckCheck check_orphan_containers(const HiDeStore& sys,
+                                  const FsckOptions& opt) {
+  CheckBuilder out(Invariant::kOrphanContainers, opt.max_findings);
+  const auto& dir = sys.config().storage_dir;
+  if (dir.empty()) return out.take();
+  Manifest manifest;
+  if (load_manifest(dir, manifest) != ManifestStatus::kOk) return out.take();
+  const CommitRecord* head = manifest.head();
+  if (head == nullptr) return out.take();
+
+  const auto& tags = sys.container_tags();
+  std::error_code ec;
+  const auto archival_dir = dir / "archival";
+  if (!std::filesystem::is_directory(archival_dir, ec)) return out.take();
+  std::vector<std::pair<ContainerId, std::string>> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(archival_dir, ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("container_", 0) != 0 || !entry.is_regular_file()) {
+      continue;
+    }
+    // container_<id>.hdsc
+    const auto id_str = name.substr(10, name.size() - 10 - 5);
+    char* end = nullptr;
+    const long id = std::strtol(id_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || id <= 0) continue;
+    files.emplace_back(static_cast<ContainerId>(id), name);
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [id, name] : files) {
+    out.object();
+    if (!tags.contains(id)) {
+      out.fail(name,
+               "archival container file carries no committed deletion tag "
+               "(orphan of an aborted commit)");
+    } else if (id >= head->store_next) {
+      out.fail(name, "container ID " + std::to_string(id) +
+                         " is at/past the journal's committed watermark " +
+                         std::to_string(head->store_next));
+    }
+  }
+  return out.take();
+}
+
 }  // namespace
 
 std::string_view invariant_name(Invariant invariant) noexcept {
@@ -634,6 +736,8 @@ FsckReport run_fsck(HiDeStore& system, const FsckOptions& options) {
   report.checks.push_back(check_pool_utilization(system, options));
   report.checks.push_back(check_cache_consistency(system, options));
   report.checks.push_back(check_accounting(system, view, options));
+  report.checks.push_back(check_manifest_commit(system, options));
+  report.checks.push_back(check_orphan_containers(system, options));
   return report;
 }
 

@@ -19,7 +19,15 @@
 //   cache_consistency   the double-hash cache and the pool index agree
 //                       exactly — same fingerprints, CIDs and sizes (§4.1);
 //   accounting          dedup counters and repository gauges cross-check
-//                       against the recomputed store state.
+//                       against the recomputed store state;
+//   manifest_commit     the MANIFEST journal head agrees with the live
+//                       system — same epoch and version window, and the
+//                       committed state file it stamps exists byte-for-byte
+//                       (persistent repositories only, §9);
+//   orphan_containers   no archival container file on disk escapes the
+//                       committed deletion tags or sits at/past the
+//                       journal's container-ID watermark (persistent
+//                       repositories only, §9).
 //
 // The report carries per-invariant pass/fail, object counts and the first
 // offending objects, and renders as text or JSON.
@@ -47,9 +55,11 @@ enum class Invariant {
   kPoolUtilization,
   kCacheConsistency,
   kAccounting,
+  kManifestCommit,
+  kOrphanContainers,
 };
 
-inline constexpr std::size_t kInvariantCount = 10;
+inline constexpr std::size_t kInvariantCount = 12;
 
 [[nodiscard]] std::string_view invariant_name(Invariant invariant) noexcept;
 

@@ -1,6 +1,8 @@
 // Failure-injection tests: corrupt or missing on-disk data must degrade a
 // restore into counted, bounded damage — never a crash, never silent
-// corruption of unrelated chunks.
+// corruption of unrelated chunks. The TornFiles suite covers the reopen
+// path: truncated repository files must turn into a counted RecoveryReport
+// (rollback, quarantine, journal rebuild), never an exception.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -8,9 +10,12 @@
 #include <set>
 
 #include "backup/pipeline.h"
+#include "core/hidestore.h"
 #include "index/full_index.h"
 #include "restore/basic_caches.h"
 #include "restore/restorer.h"
+#include "storage/manifest.h"
+#include "verify/fsck.h"
 #include "workload/generator.h"
 
 namespace hds {
@@ -184,6 +189,135 @@ TEST(FileCorruption, IntactFilesStillRestoreAlongsideCorruptOnes) {
       3, [](const ChunkLoc&, std::span<const std::uint8_t>) {});
   EXPECT_GT(report.stats.failed_chunks, 0u);
   EXPECT_LT(report.stats.failed_chunks, report.stats.restored_chunks);
+  fs::remove_all(dir);
+}
+
+// --- Torn repository files on reopen ---
+
+// Builds a committed 3-version file-backed repository under `dir`.
+void build_repo(const fs::path& dir) {
+  HiDeStoreConfig config;
+  config.container_size = 128 * 1024;
+  config.storage_dir = dir;
+  HiDeStore sys(config);
+  for (const auto& vs : generate(3, 150)) {
+    (void)sys.backup(vs);
+    sys.save(dir);
+  }
+}
+
+TEST(TornFiles, TruncatedStateAtAnyOffsetIsCountedNeverFatal) {
+  const auto pristine = fs::temp_directory_path() / "hds_torn_pristine";
+  fs::remove_all(pristine);
+  build_repo(pristine);
+  const auto full_size = fs::file_size(pristine / "state.hds");
+
+  for (const double frac : {0.0, 0.1, 0.5, 0.95}) {
+    const auto dir = fs::temp_directory_path() / "hds_torn_state";
+    fs::remove_all(dir);
+    fs::copy(pristine, dir, fs::copy_options::recursive);
+    fs::resize_file(dir / "state.hds",
+                    static_cast<std::uintmax_t>(
+                        frac * static_cast<double>(full_size)));
+
+    RecoveryReport report;
+    const auto sys = HiDeStore::open(dir, &report);
+    // The only committed snapshot is torn and there is no aside copy:
+    // recovery must report (quarantine) rather than crash or fabricate.
+    EXPECT_EQ(sys, nullptr) << "frac " << frac;
+    EXPECT_FALSE(report.opened) << "frac " << frac;
+    EXPECT_TRUE(report.performed) << "frac " << frac;
+    EXPECT_FALSE(report.quarantined.empty()) << "frac " << frac;
+    fs::remove_all(dir);
+  }
+  fs::remove_all(pristine);
+}
+
+TEST(TornFiles, TornStateWithAsideCopyRollsBack) {
+  const auto dir = fs::temp_directory_path() / "hds_torn_aside";
+  fs::remove_all(dir);
+  build_repo(dir);
+
+  // Simulate a crash between the state publish and the journal commit:
+  // the committed snapshot sits in state.prev.hds while state.hds is not
+  // what the MANIFEST vouches for.
+  fs::rename(dir / "state.hds", dir / "state.prev.hds");
+  std::ofstream(dir / "state.hds", std::ios::binary | std::ios::trunc)
+      << "uncommitted garbage";
+
+  RecoveryReport report;
+  auto sys = HiDeStore::open(dir, &report);
+  ASSERT_NE(sys, nullptr);
+  EXPECT_TRUE(report.performed);
+  EXPECT_FALSE(report.quarantined.empty());
+  EXPECT_EQ(sys->latest_version(), 3u);
+  const auto fsck = verify::run_fsck(*sys);
+  EXPECT_TRUE(fsck.clean()) << fsck.to_text() << report.to_text();
+
+  RecoveryReport second;
+  auto again = HiDeStore::open(dir, &second);
+  ASSERT_NE(again, nullptr);
+  EXPECT_FALSE(second.performed) << second.to_text();
+  fs::remove_all(dir);
+}
+
+TEST(TornFiles, TruncatedContainerFileIsCountedRestoreDamage) {
+  const auto dir = fs::temp_directory_path() / "hds_torn_container";
+  fs::remove_all(dir);
+  build_repo(dir);
+
+  // Tear the largest archival container in half.
+  fs::path victim;
+  std::uintmax_t victim_size = 0;
+  for (const auto& entry : fs::directory_iterator(dir / "archival")) {
+    if (entry.is_regular_file() && entry.file_size() > victim_size) {
+      victim = entry.path();
+      victim_size = entry.file_size();
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  fs::resize_file(victim, victim_size / 2);
+
+  RecoveryReport report;
+  auto sys = HiDeStore::open(dir, &report);
+  ASSERT_NE(sys, nullptr);  // torn payloads are a restore concern, not fatal
+  std::size_t failed = 0;
+  std::size_t emitted = 0;
+  for (VersionId v = 1; v <= 3; ++v) {
+    const auto restore = sys->restore(
+        v, [&](const ChunkLoc&, std::span<const std::uint8_t>) {
+          ++emitted;
+        });
+    failed += restore.stats.failed_chunks;
+  }
+  EXPECT_GT(emitted, 0u);
+  EXPECT_GT(failed, 0u);  // counted damage, no crash
+  // fsck names the torn container.
+  const auto fsck = verify::run_fsck(*sys);
+  EXPECT_FALSE(fsck.clean());
+  EXPECT_GT(fsck.check(verify::Invariant::kContainerFraming).violations, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(TornFiles, TruncatedManifestIsQuarantinedAndRebuilt) {
+  const auto dir = fs::temp_directory_path() / "hds_torn_manifest";
+  fs::remove_all(dir);
+  build_repo(dir);
+  fs::resize_file(dir / Manifest::kFileName, 8);
+
+  RecoveryReport report;
+  auto sys = HiDeStore::open(dir, &report);
+  ASSERT_NE(sys, nullptr);
+  EXPECT_TRUE(report.performed);
+  EXPECT_EQ(sys->latest_version(), 3u);
+  const auto fsck = verify::run_fsck(*sys);
+  EXPECT_TRUE(fsck.clean()) << fsck.to_text() << report.to_text();
+
+  // The rebuilt journal is committed: a second open is a no-op.
+  RecoveryReport second;
+  auto again = HiDeStore::open(dir, &second);
+  ASSERT_NE(again, nullptr);
+  EXPECT_FALSE(second.performed) << second.to_text();
   fs::remove_all(dir);
 }
 

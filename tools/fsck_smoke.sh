@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end fsck smoke test: builds a 10-version hds_tool repository from
 # evolving content, then requires `hds_tool fsck` to report a clean store.
+# A second leg kills an 11th backup mid-commit (HDS_CRASH_STEP, see
+# src/storage/durable.h), runs `hds_tool recover`, and requires the
+# repository to be back at version 10 with fsck still clean.
 #
 #   tools/fsck_smoke.sh <build-dir>
 #
@@ -48,4 +51,35 @@ status=$?
 # The JSON report must agree with the exit status.
 "${tool}" fsck "${repo}" --json | grep -q '"clean":true'
 echo "fsck_smoke: clean"
+
+# --- Kill-mid-flight leg: crash an 11th backup inside the commit protocol,
+# then recovery must land back on version 10 with a clean store.
+echo "fsck_smoke: crashing an 11th backup mid-commit"
+for file in a b c; do
+  {
+    seq 1 4000
+    echo "version 11 file ${file}"
+    seq 155000 155800
+  } > "${source}/${file}.txt"
+done
+crash_status=0
+HDS_CRASH_STEP=1 "${tool}" backup "${repo}" "${source}" \
+  > /dev/null 2>&1 || crash_status=$?
+if [ "${crash_status}" -ne 86 ]; then
+  echo "fsck_smoke: expected simulated crash (exit 86), got" \
+    "${crash_status}" >&2
+  exit 1
+fi
+
+"${tool}" recover "${repo}"
+latest="$("${tool}" list "${repo}" 2> /dev/null | awk 'NF == 4 { v = $1 } END { print v }')"
+if [ "${latest}" != "10" ]; then
+  echo "fsck_smoke: expected recovery to version 10, got '${latest}'" >&2
+  exit 1
+fi
+
+echo "fsck_smoke: verifying recovered repository"
+"${tool}" fsck "${repo}"
+status=$?
+echo "fsck_smoke: clean after crash recovery"
 exit "${status}"
