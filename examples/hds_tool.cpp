@@ -8,6 +8,8 @@
 //   hds_tool backup  <repo> <file-or-dir>        ingest the next version
 //   hds_tool list    <repo>                      show retained versions
 //   hds_tool restore <repo> <version> <outfile>  write a version's bytes
+//   hds_tool restore <repo> all <outprefix>      write every retained
+//                                                version to <outprefix><v>
 //   hds_tool expire  <repo> <up-to-version>      drop old versions (no GC)
 //   hds_tool flatten <repo>                      run Algorithm 1 offline
 //   hds_tool files   <repo> <version>            list cataloged files
@@ -37,9 +39,16 @@
 //                          restore: prefetch containers 2N ahead of the
 //                          policy (read_ahead.h). 0 (default) = serial.
 //
+// I/O fast path (any command; DESIGN.md §10):
+//   --block-cache-mb=N     byte budget of the archival block cache (0
+//                          disables it; default 32)
+//   --no-partial-reads     slurp whole container files instead of using
+//                          the format-3 footer index
+//
 // Directories are serialized as path+size headers followed by file bytes
 // (same layout as examples/backup_directory), so a restore of a directory
 // backup reproduces that serialized stream.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,7 +156,10 @@ int usage() {
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
                "files|restore-file|stats|fsck|recover <repo> [args]\n"
                "       [--metrics-out=<file>] [--trace-out=<file>] "
-               "[--json] [--threads=N]\n");
+               "[--json] [--threads=N]\n"
+               "       [--block-cache-mb=N] [--no-partial-reads]\n"
+               "       (restore accepts `all <outprefix>` to write every "
+               "version)\n");
   return 2;
 }
 
@@ -156,6 +168,9 @@ struct ObsOptions {
   std::string trace_out;
   bool json = false;
   std::size_t threads = 0;
+  // SIZE_MAX = flag absent (keep the default budget).
+  std::size_t block_cache_mb = SIZE_MAX;
+  bool no_partial_reads = false;
 };
 
 // Writes the metrics snapshot / trace file if requested. Returns false (and
@@ -207,6 +222,10 @@ int main(int argc, char** argv) {
       options.json = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--block-cache-mb=", 0) == 0) {
+      options.block_cache_mb = std::strtoul(arg.c_str() + 17, nullptr, 10);
+    } else if (arg == "--no-partial-reads") {
+      options.no_partial_reads = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return usage();
@@ -264,6 +283,14 @@ int main(int argc, char** argv) {
   if (!options.trace_out.empty()) sys->set_tracer(&tracer);
   // Overlap container reads with chunk assembly on whole-version restores.
   if (options.threads > 1) sys->set_read_ahead(2 * options.threads);
+  if (options.block_cache_mb != SIZE_MAX || options.no_partial_reads) {
+    FileStoreTuning tuning;
+    if (options.block_cache_mb != SIZE_MAX) {
+      tuning.block_cache_bytes = options.block_cache_mb * (1 << 20);
+    }
+    tuning.partial_reads = !options.no_partial_reads;
+    sys->set_io_tuning(tuning);
+  }
 
   const int rc = [&]() -> int {
   if (command == "stats") {
@@ -343,36 +370,51 @@ int main(int argc, char** argv) {
 
   if (command == "restore") {
     if (args.size() < 4) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
-                                                             nullptr, 10));
-    std::ofstream out(arg_at(3), std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open %s\n", arg_at(3));
-      return 1;
+    const auto restore_one = [&](VersionId version,
+                                 const std::string& outfile) -> int {
+      std::ofstream out(outfile, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n", outfile.c_str());
+        return 1;
+      }
+      const auto report = sys->restore(
+          version, [&](const ChunkLoc&, std::span<const std::uint8_t> bytes) {
+            out.write(reinterpret_cast<const char*>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+          });
+      if (report.stats.restored_chunks == 0) {
+        std::fprintf(stderr, "error: no such version: %u\n", version);
+        return 1;
+      }
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "error: short write to %s\n", outfile.c_str());
+        return 1;
+      }
+      std::printf("restored v%u: %.2f MB, %llu container reads, "
+                  "%.2f MB/read, %llu failed chunks\n",
+                  version,
+                  static_cast<double>(report.stats.restored_bytes) /
+                      (1 << 20),
+                  static_cast<unsigned long long>(
+                      report.stats.container_reads),
+                  report.stats.speed_factor(),
+                  static_cast<unsigned long long>(
+                      report.stats.failed_chunks));
+      return report.stats.failed_chunks == 0 ? 0 : 1;
+    };
+    if (std::strcmp(arg_at(2), "all") == 0) {
+      // Oldest-first: old versions chase recipe chains into archival
+      // containers, exactly where the partial-read fast path applies.
+      int worst = 0;
+      for (const VersionId v : sys->recipes().versions()) {
+        worst |= restore_one(v, std::string(arg_at(3)) + std::to_string(v));
+      }
+      return worst;
     }
-    const auto report = sys->restore(
-        version, [&](const ChunkLoc&, std::span<const std::uint8_t> bytes) {
-          out.write(reinterpret_cast<const char*>(bytes.data()),
-                    static_cast<std::streamsize>(bytes.size()));
-        });
-    if (report.stats.restored_chunks == 0) {
-      std::fprintf(stderr, "error: no such version: %u\n", version);
-      return 1;
-    }
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "error: short write to %s\n", arg_at(3));
-      return 1;
-    }
-    std::printf("restored v%u: %.2f MB, %llu container reads, "
-                "%.2f MB/read, %llu failed chunks\n",
-                version,
-                static_cast<double>(report.stats.restored_bytes) / (1 << 20),
-                static_cast<unsigned long long>(
-                    report.stats.container_reads),
-                report.stats.speed_factor(),
-                static_cast<unsigned long long>(report.stats.failed_chunks));
-    return report.stats.failed_chunks == 0 ? 0 : 1;
+    return restore_one(
+        static_cast<VersionId>(std::strtoul(arg_at(2), nullptr, 10)),
+        arg_at(3));
   }
 
   if (command == "expire") {

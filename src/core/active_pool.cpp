@@ -86,6 +86,16 @@ std::vector<std::uint8_t> ActiveContainerPool::extract(const Fingerprint& fp) {
   return out;
 }
 
+void ActiveContainerPool::discard(const Fingerprint& fp) {
+  const auto idx = index_.find(fp);
+  if (idx == index_.end()) {
+    throw std::logic_error("active pool: discard of unknown chunk");
+  }
+  containers_.at(idx->second)->remove(fp);
+  index_.erase(idx);
+  HDS_INVARIANT(!index_.contains(fp));
+}
+
 std::vector<ContainerId> ActiveContainerPool::container_ids_sorted() const {
   std::vector<ContainerId> ids;
   ids.reserve(containers_.size());
@@ -165,16 +175,19 @@ std::unordered_map<Fingerprint, ContainerId> ActiveContainerPool::compact(
 
     for (const auto& [offset, fp] : order) {
       (void)offset;
+      // read() CRC-verifies the payload once; the stored entry CRC is then
+      // reused so the merge is one memcpy per chunk, no re-checksum.
       const auto read = src->read(fp);
       if (!read) {
         throw std::runtime_error("active pool: chunk payload corrupt");
       }
       const auto bytes = *read;
+      const auto entry = src->find(fp);
       auto& dst = open_container(bytes.size());
       // Metadata-only pools stay metadata-only through compaction; never
       // materialize placeholder payloads.
       const bool ok =
-          materialize_ ? dst.add(fp, bytes)
+          materialize_ ? dst.add_with_crc(fp, bytes, entry->crc)
                        : dst.add_meta(fp,
                                       static_cast<std::uint32_t>(bytes.size()));
       if (!ok) {

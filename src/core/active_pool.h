@@ -55,6 +55,13 @@ class ActiveContainerPool {
   // Internal data movement — not counted as a restore read.
   [[nodiscard]] std::vector<std::uint8_t> extract(const Fingerprint& fp);
 
+  // Removes a chunk whose bytes the caller already staged elsewhere — the
+  // batched eviction path reads the span straight out of the container
+  // (Container::remove never touches the data region, so spans stay valid)
+  // and discards the entry afterwards, skipping extract()'s copy. Throws on
+  // an unknown fingerprint, like extract().
+  void discard(const Fingerprint& fp);
+
   // Merges containers with utilization < threshold into freshly packed
   // ones. Returns the fp→new-CID remap of every chunk that moved.
   std::unordered_map<Fingerprint, ContainerId> compact(double threshold);

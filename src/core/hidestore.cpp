@@ -10,6 +10,7 @@
 #include "obs/log.h"
 #include "storage/durable.h"
 #include "storage/manifest.h"
+#include "restore/chunk_index.h"
 #include "restore/faa.h"
 #include "restore/partial.h"
 #include "restore/read_ahead.h"
@@ -18,19 +19,32 @@
 namespace hds {
 
 namespace {
-// Dispatches fetches to the archival store or the active pool.
+// Dispatches fetches to the archival store or the active pool. When a
+// restore's per-container chunk index is attached, archival fetches go
+// through read_chunks() so the file-backed store can serve them with
+// footer-index partial reads; accounting is identical (one container read
+// of full logical size either way). The index is const — the read-ahead
+// prefetch thread shares the fetcher.
 class HiDeStoreFetcher final : public ContainerFetcher {
  public:
-  HiDeStoreFetcher(ContainerStore& archival, ActiveContainerPool& pool)
-      : archival_(archival), pool_(pool) {}
+  HiDeStoreFetcher(ContainerStore& archival, ActiveContainerPool& pool,
+                   const ContainerChunkIndex* needed = nullptr)
+      : archival_(archival), pool_(pool), needed_(needed) {}
 
   std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override {
-    return loc.active ? pool_.fetch(loc.cid) : archival_.read(loc.cid);
+    if (loc.active) return pool_.fetch(loc.cid);
+    if (needed_ != nullptr) {
+      if (const auto it = needed_->find(loc.cid); it != needed_->end()) {
+        return archival_.read_chunks(loc.cid, it->second);
+      }
+    }
+    return archival_.read(loc.cid);
   }
 
  private:
   ContainerStore& archival_;
   ActiveContainerPool& pool_;
+  const ContainerChunkIndex* needed_;
 };
 }  // namespace
 
@@ -41,7 +55,7 @@ std::unique_ptr<ContainerStore> make_archival_store(
     return std::make_unique<MemoryContainerStore>();
   }
   return std::make_unique<FileContainerStore>(
-      config.storage_dir / "archival", index_existing);
+      config.storage_dir / "archival", index_existing, config.io_tuning);
 }
 }  // namespace
 
@@ -77,7 +91,12 @@ void HiDeStore::register_metrics() {
         "versions_deleted", "containers_erased", "bytes_reclaimed",
         "delete_chunks_scanned",
         // Integrity: per-chunk CRC mismatches observed on any read path.
-        "io_crc_failures"}) {
+        "io_crc_failures",
+        // Container I/O fast path (DESIGN.md §10) — all 0 for in-memory
+        // repositories.
+        "io_fd_cache_hits", "io_fd_cache_opens", "io_block_cache_hits",
+        "io_block_cache_misses", "io_block_cache_evictions",
+        "io_partial_reads", "io_read_errors"}) {
     (void)metrics_.counter(name);
   }
   for (const char* name : {"backup_ms", "recipe_update_ms",
@@ -105,6 +124,33 @@ void HiDeStore::refresh_gauges() {
   auto& crc = metrics_.counter("io_crc_failures");
   const std::uint64_t seen = chunk_crc_failures() - crc_failures_baseline_;
   if (seen > crc.value()) crc.inc(seen - crc.value());
+  // Same diff-mirror for the file store's fast-path counters (monotonic
+  // since store construction; metrics are reset when a repository reopens,
+  // right after the store is rebuilt).
+  if (const auto* file = dynamic_cast<const FileContainerStore*>(store_.get())) {
+    const auto io = file->io_stats();
+    const auto mirror = [&](const char* name, std::uint64_t value) {
+      auto& counter = metrics_.counter(name);
+      if (value > counter.value()) counter.inc(value - counter.value());
+    };
+    mirror("io_fd_cache_hits", io.fd_cache_hits);
+    mirror("io_fd_cache_opens", io.fd_cache_opens);
+    mirror("io_block_cache_hits", io.block_cache_hits);
+    mirror("io_block_cache_misses", io.block_cache_misses);
+    mirror("io_block_cache_evictions", io.block_cache_evictions);
+    mirror("io_partial_reads", io.partial_reads);
+    mirror("io_read_errors", io.read_errors);
+    metrics_.gauge("io_open_fds").set(static_cast<double>(io.open_fds));
+    metrics_.gauge("io_block_cache_bytes")
+        .set(static_cast<double>(io.block_cache_bytes));
+  }
+}
+
+void HiDeStore::set_io_tuning(const FileStoreTuning& tuning) {
+  config_.io_tuning = tuning;
+  if (auto* file = dynamic_cast<FileContainerStore*>(store_.get())) {
+    file->set_tuning(tuning);
+  }
 }
 
 HiDeStoreOverheads HiDeStore::overheads() const {
@@ -297,17 +343,29 @@ void HiDeStore::evict_cold(DoubleHashFingerprintCache::Table cold,
                 return src_container->find(a)->offset <
                        src_container->find(b)->offset;
               });
+    // Batched move: each chunk is staged straight from the source
+    // container's data region into the archival container (one copy, CRC
+    // carried over from the entry table) and then discarded from the pool —
+    // extract()'s intermediate vector is gone. Spans stay valid across
+    // discard() because Container::remove never touches the data region.
+    // The archival container is written once, sequentially, when it fills.
     for (const auto& fp : fps) {
-      const auto bytes = pool_.extract(fp);
-      if (!archival.fits(bytes.size())) flush();
-      if (config_.materialize_contents) {
-        archival.add(fp, bytes);
+      const auto entry = src_container->find(fp);
+      if (!archival.fits(entry->size)) flush();
+      if (entry->offset == Container::kVirtualOffset) {
+        // Metadata-only chunk (materialize_contents == false).
+        archival.add_meta(fp, entry->size);
       } else {
-        archival.add_meta(fp, static_cast<std::uint32_t>(bytes.size()));
+        const auto bytes = src_container->read(fp);  // CRC-verified span
+        if (!bytes) {
+          throw std::runtime_error("active pool: chunk payload corrupt");
+        }
+        archival.add_with_crc(fp, *bytes, entry->crc);
       }
+      pool_.discard(fp);
       cold_map[fp] = archival.id();
       chunks_moved++;
-      bytes_moved += bytes.size();
+      bytes_moved += entry->size;
     }
   }
   flush();
@@ -405,7 +463,11 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   }
   metrics_.counter("restore_chain_hops").inc(hops);
 
-  HiDeStoreFetcher direct(*store_, pool_);
+  // Per-container fingerprint sets of this restore, so archival fetches can
+  // use the store's partial-read fast path. Const once built — shared with
+  // the read-ahead thread.
+  const ContainerChunkIndex needed = build_container_chunk_index(stream);
+  HiDeStoreFetcher direct(*store_, pool_, &needed);
   ContainerFetcher* fetcher = &direct;
   const bool whole = offset == 0 && length == UINT64_MAX;
   // Sample BEFORE the prefetch thread starts: it issues counted reads
@@ -491,7 +553,11 @@ std::optional<std::vector<std::uint8_t>> read_file_bytes(
     const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  const auto end = in.tellg();
+  // tellg() returns -1 on failure; casting that to size_t would request an
+  // absurd allocation. Treat it as the read failure it is.
+  if (end < 0) return std::nullopt;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
   in.seekg(0);
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
@@ -686,6 +752,10 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
   if (status == ManifestStatus::kCorrupt) {
     quarantine_file(dir, dir / Manifest::kFileName, report);
     report.notes.push_back("MANIFEST unreadable; quarantined (rebuilding)");
+  } else if (status == ManifestStatus::kIoError) {
+    // The bytes may still be fine on disk — don't quarantine over a
+    // transient read failure; just recover without the journal.
+    report.notes.push_back("MANIFEST read failed (I/O); ignoring journal");
   }
   const CommitRecord* head = manifest.head();
 

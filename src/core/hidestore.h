@@ -50,6 +50,11 @@ struct HiDeStoreConfig {
   // different directory is rejected). Empty: everything stays in memory and
   // save() serializes archival containers inline.
   std::filesystem::path storage_dir;
+  // Container I/O fast-path tuning (DESIGN.md §10): fd cache, block cache
+  // and footer-index partial reads of the file-backed archival store. Only
+  // meaningful with a storage_dir; not persisted (a process knob, not
+  // repository state).
+  FileStoreTuning io_tuning;
 };
 
 // Figure 12 view over the metrics registry. The registry is the single
@@ -111,6 +116,11 @@ class HiDeStore final : public BackupSystem {
   [[nodiscard]] std::size_t read_ahead() const noexcept {
     return read_ahead_depth_;
   }
+
+  // Re-tunes the file-backed archival store's I/O fast path at runtime
+  // (setup operation — not safe mid-restore). No effect on an in-memory
+  // repository. Not persisted, like set_read_ahead().
+  void set_io_tuning(const FileStoreTuning& tuning);
 
   // --- Repository lifecycle ---
   // Persists the complete system state (config, recipes, active pool,

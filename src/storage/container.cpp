@@ -9,8 +9,11 @@
 namespace hds {
 
 namespace {
-// "HDSC" + 2: format 2 adds the per-chunk CRC column to the entry table.
-constexpr std::uint32_t kMagic = 0x48445345;
+// "HDSE": format 2 — entry table before the data, per-chunk CRC column.
+constexpr std::uint32_t kMagicV2 = 0x48445345;
+// "HDSF": format 3 — data first, entry table as a footer index (see the
+// layout comment in container.h).
+constexpr std::uint32_t kMagicV3 = 0x48445346;
 
 std::atomic<std::uint64_t> g_chunk_crc_failures{0};
 }  // namespace
@@ -35,15 +38,31 @@ std::uint32_t get_u32(const std::uint8_t* p) noexcept {
 
 bool Container::add(const Fingerprint& fp,
                     std::span<const std::uint8_t> bytes) {
+  return add_with_crc(fp, bytes, crc32(bytes));
+}
+
+bool Container::add_with_crc(const Fingerprint& fp,
+                             std::span<const std::uint8_t> bytes,
+                             std::uint32_t crc) {
   if (!fits(bytes.size()) || entries_.contains(fp)) return false;
   const ContainerEntry entry{static_cast<std::uint32_t>(data_.size()),
-                             static_cast<std::uint32_t>(bytes.size()),
-                             crc32(bytes)};
+                             static_cast<std::uint32_t>(bytes.size()), crc};
   data_.insert(data_.end(), bytes.begin(), bytes.end());
   entries_.emplace(fp, entry);
   used_ += bytes.size();
   HDS_INVARIANT(data_size() <= capacity_);
   return true;
+}
+
+bool Container::add_verified(const Fingerprint& fp,
+                             const ContainerEntry& entry,
+                             std::span<const std::uint8_t> payload) {
+  if (entry.offset == kVirtualOffset) return add_meta(fp, entry.size);
+  if (payload.size() != entry.size || crc32(payload) != entry.crc) {
+    g_chunk_crc_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return add_with_crc(fp, payload, entry.crc);
 }
 
 namespace {
@@ -123,8 +142,35 @@ void Container::compact() {
 
 std::vector<std::uint8_t> Container::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(data_.size() + entries_.size() * 32 + 64);
-  put_u32(out, kMagic);
+  out.reserve(kHeaderSize + data_.size() + entries_.size() * kEntrySize +
+              kTrailerSize);
+  put_u32(out, kMagicV3);
+  put_u32(out, static_cast<std::uint32_t>(id_));
+  put_u32(out, static_cast<std::uint32_t>(capacity_));
+  put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  put_u32(out, static_cast<std::uint32_t>(data_.size()));
+  out.insert(out.end(), data_.begin(), data_.end());
+  const std::size_t table_at = out.size();
+  for (const auto& [fp, entry] : entries_) {
+    out.insert(out.end(), fp.bytes.begin(), fp.bytes.end());
+    put_u32(out, entry.offset);
+    put_u32(out, entry.size);
+    put_u32(out, entry.crc);
+  }
+  // Footer CRC over header + table (skipping the data region in between),
+  // so a partial read validates the index without slurping payloads.
+  const std::uint32_t footer_crc =
+      crc32(out.data() + table_at, out.size() - table_at,
+            crc32(out.data(), kHeaderSize));
+  put_u32(out, footer_crc);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> Container::serialize_legacy() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(data_.size() + entries_.size() * kEntrySize + 64);
+  put_u32(out, kMagicV2);
   put_u32(out, static_cast<std::uint32_t>(id_));
   put_u32(out, static_cast<std::uint32_t>(capacity_));
   put_u32(out, static_cast<std::uint32_t>(entries_.size()));
@@ -140,24 +186,84 @@ std::vector<std::uint8_t> Container::serialize() const {
   return out;
 }
 
+std::optional<Container::HeaderInfo> Container::parse_header(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  const std::uint32_t magic = get_u32(bytes.data());
+  if (magic != kMagicV2 && magic != kMagicV3) return std::nullopt;
+  HeaderInfo info;
+  info.id = static_cast<ContainerId>(get_u32(bytes.data() + 4));
+  info.capacity = get_u32(bytes.data() + 8);
+  info.count = get_u32(bytes.data() + 12);
+  info.data_size = get_u32(bytes.data() + 16);
+  info.footer_indexed = magic == kMagicV3;
+  return info;
+}
+
+std::optional<std::vector<std::pair<Fingerprint, ContainerEntry>>>
+Container::parse_footer(std::span<const std::uint8_t> header_bytes,
+                        std::span<const std::uint8_t> footer_bytes) {
+  const auto header = parse_header(header_bytes);
+  if (!header || !header->footer_indexed) return std::nullopt;
+  if (footer_bytes.size() != header->footer_size()) return std::nullopt;
+  const std::size_t table_bytes = footer_bytes.size() - 4;
+  const std::uint32_t stored = get_u32(footer_bytes.data() + table_bytes);
+  if (crc32(footer_bytes.data(), table_bytes,
+            crc32(header_bytes.data(), kHeaderSize)) != stored) {
+    return std::nullopt;
+  }
+  std::vector<std::pair<Fingerprint, ContainerEntry>> entries;
+  entries.reserve(header->count);
+  const std::uint8_t* p = footer_bytes.data();
+  for (std::uint32_t i = 0; i < header->count; ++i) {
+    Fingerprint fp;
+    std::memcpy(fp.bytes.data(), p, kFingerprintSize);
+    p += kFingerprintSize;
+    ContainerEntry entry{get_u32(p), get_u32(p + 4), get_u32(p + 8)};
+    p += 12;
+    if (entry.offset != kVirtualOffset &&
+        std::uint64_t{entry.offset} + entry.size > header->data_size) {
+      return std::nullopt;
+    }
+    entries.emplace_back(fp, entry);
+  }
+  return entries;
+}
+
 std::optional<Container> Container::deserialize(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 24) return std::nullopt;
+  if (bytes.size() < kHeaderSize + 4) return std::nullopt;
   const std::uint32_t stored_crc = get_u32(bytes.data() + bytes.size() - 4);
   if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) return std::nullopt;
-  if (get_u32(bytes.data()) != kMagic) return std::nullopt;
+  const auto header = parse_header(bytes);
+  if (!header) return std::nullopt;
 
-  const auto id = static_cast<ContainerId>(get_u32(bytes.data() + 4));
-  const std::uint32_t capacity = get_u32(bytes.data() + 8);
-  const std::uint32_t count = get_u32(bytes.data() + 12);
-  const std::uint32_t data_size = get_u32(bytes.data() + 16);
-  const std::size_t table_bytes = std::size_t{count} * 32;
-  if (bytes.size() != 20 + table_bytes + data_size + 4) return std::nullopt;
+  const std::size_t table_bytes = std::size_t{header->count} * kEntrySize;
+  const std::uint8_t* table = nullptr;
+  const std::uint8_t* data = nullptr;
+  if (header->footer_indexed) {
+    if (bytes.size() != header->expected_file_size()) return std::nullopt;
+    data = bytes.data() + kHeaderSize;
+    table = data + header->data_size;
+    // The footer CRC is redundant under a valid file CRC but checked anyway
+    // so the two can never silently disagree.
+    const std::uint32_t footer_crc = get_u32(table + table_bytes);
+    if (crc32(table, table_bytes, crc32(bytes.data(), kHeaderSize)) !=
+        footer_crc) {
+      return std::nullopt;
+    }
+  } else {
+    if (bytes.size() != kHeaderSize + table_bytes + header->data_size + 4) {
+      return std::nullopt;
+    }
+    table = bytes.data() + kHeaderSize;
+    data = table + table_bytes;
+  }
 
-  Container c(id, capacity);
-  const std::uint8_t* p = bytes.data() + 20;
-  c.data_.assign(p + table_bytes, p + table_bytes + data_size);
-  for (std::uint32_t i = 0; i < count; ++i) {
+  Container c(header->id, header->capacity);
+  c.data_.assign(data, data + header->data_size);
+  const std::uint8_t* p = table;
+  for (std::uint32_t i = 0; i < header->count; ++i) {
     Fingerprint fp;
     std::memcpy(fp.bytes.data(), p, kFingerprintSize);
     p += kFingerprintSize;

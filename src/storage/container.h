@@ -62,6 +62,20 @@ class Container {
   // already present (containers never hold duplicates).
   bool add(const Fingerprint& fp, std::span<const std::uint8_t> bytes);
 
+  // Adds a chunk whose payload CRC-32 is already known — the batched
+  // eviction/compaction paths stage CRC-verified spans straight out of
+  // another container's entry table without recomputing the checksum.
+  bool add_with_crc(const Fingerprint& fp, std::span<const std::uint8_t> bytes,
+                    std::uint32_t crc);
+
+  // Partial-read support: verifies `payload` against `entry.crc` and
+  // installs the chunk at the container's tail (entry.offset is the source
+  // container's layout and is ignored here). Virtual entries install
+  // metadata-only, no payload required. Returns false on a CRC mismatch,
+  // counting the failure in chunk_crc_failures().
+  bool add_verified(const Fingerprint& fp, const ContainerEntry& entry,
+                    std::span<const std::uint8_t> payload);
+
   // Adds a chunk without materialized bytes (trace/simulated mode): space is
   // fully accounted but no payload is allocated; read() serves such chunks
   // from a shared zero page. Keeps metadata-only experiments allocation-free
@@ -113,16 +127,71 @@ class Container {
     return entries_;
   }
 
-  // Binary serialization (header + fingerprint table + data) with a CRC-32
-  // trailer. Round-trips through deserialize().
+  // --- On-disk layout ---
+  // Format 3 ("HDSF"): header(20) | chunk data | entry table (32 B/chunk) |
+  // footer CRC | file CRC. The header keeps the format-2 field offsets
+  // (chunk count at byte 12, data size at byte 16), but the entry table
+  // moved behind the data region so that header + table — the *footer
+  // index* — can be fetched with two small preads and the needed chunk
+  // extents read individually, instead of slurping the whole file. The
+  // footer CRC covers header + table, so a partial read validates every
+  // byte it touches (per-chunk payload CRCs cover the extents) without
+  // reading the data region; the trailing file CRC covers the whole image
+  // for the slurp path. Format 2 ("HDSE": table before data, single
+  // trailing CRC) is still accepted by deserialize() and served by the
+  // slurp path.
+  static constexpr std::size_t kHeaderSize = 20;
+  static constexpr std::size_t kEntrySize = 32;
+  // Footer CRC + file CRC behind the entry table (format 3 only).
+  static constexpr std::size_t kTrailerSize = 8;
+  // Offset marker for metadata-only chunks (no stored payload).
+  static constexpr std::uint32_t kVirtualOffset = 0xFFFFFFFFu;
+
+  struct HeaderInfo {
+    ContainerId id = 0;
+    std::uint32_t capacity = 0;
+    std::uint32_t count = 0;
+    std::uint32_t data_size = 0;
+    bool footer_indexed = false;  // true for format 3
+
+    // Exact serialized size of a format-3 container with this header.
+    [[nodiscard]] std::uint64_t expected_file_size() const noexcept {
+      return kHeaderSize + std::uint64_t{data_size} +
+             std::uint64_t{count} * kEntrySize + kTrailerSize;
+    }
+    // Byte offset of the entry table + footer CRC region (format 3).
+    [[nodiscard]] std::uint64_t footer_offset() const noexcept {
+      return kHeaderSize + std::uint64_t{data_size};
+    }
+    [[nodiscard]] std::uint64_t footer_size() const noexcept {
+      return std::uint64_t{count} * kEntrySize + 4;
+    }
+  };
+
+  // Parses the 20-byte fixed header shared by both formats; nullopt on a
+  // short span or unknown magic. Performs no CRC validation.
+  static std::optional<HeaderInfo> parse_header(
+      std::span<const std::uint8_t> bytes);
+
+  // Parses a format-3 footer index: `footer_bytes` is the entry table plus
+  // its CRC word (header.footer_size() bytes at header.footer_offset()) and
+  // `header_bytes` the same 20-byte prefix given to parse_header — the
+  // footer CRC covers header + table, so header corruption is detected
+  // without touching the data region. nullopt on CRC or framing mismatch.
+  static std::optional<std::vector<std::pair<Fingerprint, ContainerEntry>>>
+  parse_footer(std::span<const std::uint8_t> header_bytes,
+               std::span<const std::uint8_t> footer_bytes);
+
+  // Binary serialization (format 3, see layout above). Round-trips through
+  // deserialize().
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  // Format-2 image (entry table before the data, no footer index) — kept so
+  // compatibility tests can produce legacy containers.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_legacy() const;
   static std::optional<Container> deserialize(
       std::span<const std::uint8_t> bytes);
 
  private:
-  // Offset marker for metadata-only chunks (no stored payload).
-  static constexpr std::uint32_t kVirtualOffset = 0xFFFFFFFFu;
-
   ContainerId id_;
   std::size_t capacity_;
   std::size_t used_ = 0;

@@ -7,7 +7,9 @@
 //   * MemoryContainerStore — containers held in RAM; the default for
 //     experiments (I/O counts are what matter, not device latency);
 //   * FileContainerStore — each container serialized to its own file under
-//     a directory; proves the format round-trips through a real filesystem.
+//     a directory; proves the format round-trips through a real filesystem
+//     and carries the container I/O fast path (footer-indexed partial
+//     reads, fd cache, sharded block cache — DESIGN.md §10).
 #pragma once
 
 #include <atomic>
@@ -15,12 +17,17 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/block_cache.h"
 #include "storage/container.h"
+#include "storage/fd_cache.h"
 
 namespace hds {
 
@@ -28,11 +35,21 @@ namespace hds {
 // read-ahead prefetcher: each field is a relaxed atomic (counts must not be
 // lost; cross-field consistency is not needed). Copying takes a relaxed
 // snapshot, so existing `stats().container_reads` call sites read naturally.
+//
+// Accounting rules (§5.3 + DESIGN.md §10): `container_reads` and
+// `bytes_read` keep their paper meaning — every read() / read_chunks() call
+// counts one container read and the FULL container's data size, whether the
+// bytes came from disk, a cache, or a partial read. `bytes_read_physical`
+// is the device-side truth: bytes actually transferred from the backing
+// medium (0 on a block-cache hit; header + footer + coalesced extents on a
+// partial read; the whole file on a slurp). For MemoryContainerStore the
+// two are equal by definition — RAM is the modeled disk.
 struct IoStats {
   std::atomic<std::uint64_t> container_reads{0};
   std::atomic<std::uint64_t> container_writes{0};
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> bytes_read_physical{0};
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -41,6 +58,8 @@ struct IoStats {
     container_writes = other.container_writes.load(std::memory_order_relaxed);
     bytes_read = other.bytes_read.load(std::memory_order_relaxed);
     bytes_written = other.bytes_written.load(std::memory_order_relaxed);
+    bytes_read_physical =
+        other.bytes_read_physical.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -49,17 +68,51 @@ struct IoStats {
     container_writes.store(0, std::memory_order_relaxed);
     bytes_read.store(0, std::memory_order_relaxed);
     bytes_written.store(0, std::memory_order_relaxed);
+    bytes_read_physical.store(0, std::memory_order_relaxed);
   }
 };
 
-// Thread-safety contract: read(), put(), write(), erase(), reserve_id() and
-// stats() are safe to call from multiple threads concurrently — counters are
-// atomic, ID reservation is atomic, and both backends guard their container
-// maps with a mutex. This is what lets the restore read-ahead thread issue
-// read()s while the consumer thread reads and the backup path writes.
-// NOT thread-safe: attach_metrics(), reset_stats(), restore_next_id() and
-// construction/destruction, which must be serialized externally (they are
-// setup/teardown operations).
+// Typed I/O failure: a container the store's index says exists could not be
+// opened or read from the backing medium — distinct from corruption, which
+// the read paths report by returning nullptr after a failed deserialize.
+// FileContainerStore's read paths catch this at their boundary, count it
+// (io_read_errors) and fall back to the nullptr contract so a restore stays
+// bounded-damage; the type exists so internal layers never decode garbage
+// from a failed read.
+class ReadError : public std::runtime_error {
+ public:
+  ReadError(ContainerId id, const std::string& what)
+      : std::runtime_error("container " + std::to_string(id) + ": " + what),
+        id_(id) {}
+  [[nodiscard]] ContainerId id() const noexcept { return id_; }
+
+ private:
+  ContainerId id_;
+};
+
+// Runtime tuning of the FileContainerStore fast path. Not persisted — a
+// knob of the process, not of the repository.
+struct FileStoreTuning {
+  // Open descriptors retained by the fd cache (0 disables retention).
+  std::size_t fd_cache_slots = 64;
+  // Byte budget of the deserialized-container block cache (0 disables).
+  std::size_t block_cache_bytes = 32 * 1024 * 1024;
+  std::size_t block_cache_shards = 8;
+  // Serve read_chunks() via the format-3 footer index (pread of exactly the
+  // needed extents) instead of slurping the file. Format-2 containers and
+  // any footer validation failure fall back to the slurp path either way.
+  bool partial_reads = true;
+};
+
+// Thread-safety contract: read(), read_chunks(), read_verified(), put(),
+// write(), erase(), reserve_id() and stats() are safe to call from multiple
+// threads concurrently — counters are atomic, ID reservation is atomic, and
+// both backends guard their container maps (and the file backend its
+// caches) with mutexes. This is what lets the restore read-ahead thread
+// issue reads while the consumer thread reads and the backup path writes.
+// NOT thread-safe: attach_metrics(), reset_stats(), restore_next_id(),
+// set_tuning() and construction/destruction, which must be serialized
+// externally (they are setup/teardown operations).
 class ContainerStore {
  public:
   virtual ~ContainerStore() = default;
@@ -88,6 +141,21 @@ class ContainerStore {
   // Fetches a container, counting one container read.
   [[nodiscard]] std::shared_ptr<const Container> read(ContainerId id);
 
+  // Fetches at least the chunks in `fps` of a container, counting one
+  // container read with the FULL container's logical size (§5.3 accounting
+  // — see IoStats). The returned container may hold only the requested
+  // chunks (file backend partial path) or the whole container (memory
+  // backend, caches, fallback): callers must not assume other chunks are
+  // present. nullptr exactly when read() would return nullptr.
+  [[nodiscard]] std::shared_ptr<const Container> read_chunks(
+      ContainerId id, std::span<const Fingerprint> fps);
+
+  // Integrity path (fsck): re-reads the container from the backing medium,
+  // bypassing every cache, so post-write corruption is seen — counted like
+  // a normal read.
+  [[nodiscard]] std::shared_ptr<const Container> read_verified(
+      ContainerId id);
+
   // Removes a container (expired-version deletion). Returns false if absent.
   bool erase(ContainerId id);
 
@@ -97,9 +165,9 @@ class ContainerStore {
   [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
-  // Mirrors every I/O into `<prefix>_container_{writes,reads,erases}` and
-  // `<prefix>_bytes_{written,read}` counters of `registry`. The registry
-  // must outlive this store.
+  // Mirrors every I/O into `<prefix>_container_{writes,reads,erases}`,
+  // `<prefix>_bytes_{written,read}` and `<prefix>_bytes_read_physical`
+  // counters of `registry`. The registry must outlive this store.
   void attach_metrics(obs::MetricsRegistry& registry,
                       std::string_view prefix);
 
@@ -110,11 +178,31 @@ class ContainerStore {
   void restore_next_id(ContainerId next) noexcept { next_id_ = next; }
 
  protected:
+  // What a backend read produced: the container plus the logical/physical
+  // byte split the public wrappers account (see IoStats).
+  struct ReadResult {
+    std::shared_ptr<const Container> container;
+    std::uint64_t logical_bytes = 0;
+    std::uint64_t physical_bytes = 0;
+  };
+
   virtual void do_write(ContainerId id, Container&& container) = 0;
-  virtual std::shared_ptr<const Container> do_read(ContainerId id) = 0;
+  virtual ReadResult do_read(ContainerId id) = 0;
+  // Default: partial reads degrade to a full read (memory backend — keeps
+  // every experiment on MemoryContainerStore bit-identical).
+  virtual ReadResult do_read_chunks(ContainerId id,
+                                    std::span<const Fingerprint> fps) {
+    (void)fps;
+    return do_read(id);
+  }
+  // Default: backends without caches read the medium directly anyway.
+  virtual ReadResult do_read_verified(ContainerId id) { return do_read(id); }
   virtual bool do_erase(ContainerId id) = 0;
 
  private:
+  [[nodiscard]] std::shared_ptr<const Container> account_read(
+      ReadResult&& result);
+
   // 0 is reserved for "active" in recipes
   std::atomic<ContainerId> next_id_{1};
   IoStats stats_;
@@ -123,6 +211,7 @@ class ContainerStore {
   obs::Counter* m_erases_ = nullptr;
   obs::Counter* m_bytes_written_ = nullptr;
   obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_bytes_read_physical_ = nullptr;
 };
 
 class MemoryContainerStore final : public ContainerStore {
@@ -135,7 +224,7 @@ class MemoryContainerStore final : public ContainerStore {
 
  protected:
   void do_write(ContainerId id, Container&& container) override;
-  std::shared_ptr<const Container> do_read(ContainerId id) override;
+  ReadResult do_read(ContainerId id) override;
   bool do_erase(ContainerId id) override;
 
  private:
@@ -151,7 +240,8 @@ class FileContainerStore final : public ContainerStore {
   // the highest one — reopening a persistent repository; otherwise existing
   // files are ignored (fresh runs, round-trip validation).
   explicit FileContainerStore(std::filesystem::path dir,
-                              bool index_existing = false);
+                              bool index_existing = false,
+                              const FileStoreTuning& tuning = {});
 
   [[nodiscard]] std::size_t container_count() const override {
     std::lock_guard lock(mu_);
@@ -166,21 +256,63 @@ class FileContainerStore final : public ContainerStore {
     return path_for(id);
   }
   bool forget(ContainerId id) {
+    fd_cache_.invalidate(id);
+    block_cache_.invalidate(id);
     std::lock_guard lock(mu_);
     return known_.erase(id) > 0;
   }
 
+  // Replaces the fast-path caches with freshly sized ones (a setup
+  // operation — see the thread-safety contract).
+  void set_tuning(const FileStoreTuning& tuning);
+  [[nodiscard]] const FileStoreTuning& tuning() const noexcept {
+    return tuning_;
+  }
+
+  // Fast-path observability snapshot, mirrored into io_* metrics by the
+  // owning system (README "Observability").
+  struct IoPathStats {
+    std::uint64_t fd_cache_hits = 0;
+    std::uint64_t fd_cache_opens = 0;
+    std::uint64_t open_fds = 0;
+    std::uint64_t block_cache_hits = 0;
+    std::uint64_t block_cache_misses = 0;
+    std::uint64_t block_cache_evictions = 0;
+    std::uint64_t block_cache_bytes = 0;
+    std::uint64_t partial_reads = 0;  // reads served via the footer index
+    std::uint64_t read_errors = 0;    // ReadError caught at the boundary
+  };
+  [[nodiscard]] IoPathStats io_stats() const;
+
  protected:
   void do_write(ContainerId id, Container&& container) override;
-  std::shared_ptr<const Container> do_read(ContainerId id) override;
+  ReadResult do_read(ContainerId id) override;
+  ReadResult do_read_chunks(ContainerId id,
+                            std::span<const Fingerprint> fps) override;
+  ReadResult do_read_verified(ContainerId id) override;
   bool do_erase(ContainerId id) override;
 
  private:
   [[nodiscard]] std::filesystem::path path_for(ContainerId id) const;
+  [[nodiscard]] bool is_known(ContainerId id) const {
+    std::lock_guard lock(mu_);
+    return known_.contains(id);
+  }
+  // Whole-file read through the fd cache; throws ReadError on I/O failure.
+  ReadResult slurp(ContainerId id);
+  // Footer-index partial read; nullopt when the file is not format 3 or the
+  // footer does not validate (caller falls back to slurp).
+  std::optional<ReadResult> try_partial_read(
+      ContainerId id, std::span<const Fingerprint> fps);
 
   std::filesystem::path dir_;
+  FileStoreTuning tuning_;
   mutable std::mutex mu_;  // guards known_ (see thread-safety contract)
   std::unordered_map<ContainerId, bool> known_;
+  FdCache fd_cache_;
+  BlockCache block_cache_;
+  std::atomic<std::uint64_t> partial_reads_{0};
+  std::atomic<std::uint64_t> read_errors_{0};
 };
 
 }  // namespace hds

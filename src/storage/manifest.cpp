@@ -1,6 +1,7 @@
 #include "storage/manifest.h"
 
 #include <fstream>
+#include <system_error>
 
 #include "common/byte_io.h"
 #include "common/crc32.h"
@@ -86,13 +87,18 @@ ManifestStatus load_manifest(const std::filesystem::path& dir,
                              Manifest& out) {
   out.records.clear();
   const auto path = dir / Manifest::kFileName;
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+  if (!ec && !exists) return ManifestStatus::kMissing;
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return ManifestStatus::kMissing;
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  if (!in) return ManifestStatus::kIoError;
+  const auto end = in.tellg();
+  if (end < 0) return ManifestStatus::kIoError;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
   in.seekg(0);
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
-  if (!in && !bytes.empty()) return ManifestStatus::kCorrupt;
+  if (!in && !bytes.empty()) return ManifestStatus::kIoError;
   auto manifest = Manifest::deserialize(bytes);
   if (!manifest) return ManifestStatus::kCorrupt;
   out = std::move(*manifest);

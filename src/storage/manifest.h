@@ -56,7 +56,12 @@ struct Manifest {
       std::span<const std::uint8_t> bytes);
 };
 
-enum class ManifestStatus { kOk, kMissing, kCorrupt };
+// kIoError: the file exists but the OS refused to hand over its bytes
+// (open-after-stat race, EIO, permission change). Distinct from kCorrupt,
+// which means the bytes were read fine but fail CRC/format validation —
+// callers that quarantine corrupt journals should treat both as fatal, but
+// the operator remedy differs (check the disk vs. restore the journal).
+enum class ManifestStatus { kOk, kMissing, kIoError, kCorrupt };
 
 // Reads `<dir>/MANIFEST`. On kOk, `out` holds the journal; otherwise `out`
 // is left empty.

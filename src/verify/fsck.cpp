@@ -25,6 +25,7 @@ constexpr std::string_view kNames[kInvariantCount] = {
     "recipe_resolution", "recipe_chain",      "active_resolution",
     "class_exclusivity", "pool_utilization",  "cache_consistency",
     "accounting",        "manifest_commit",   "orphan_containers",
+    "footer_index",
 };
 
 // Accumulates one invariant's result, capping recorded findings.
@@ -105,7 +106,9 @@ FsckCheck check_container_framing(HiDeStore& sys, StoreView& view,
   std::sort(ids.begin(), ids.end());
   for (const ContainerId cid : ids) {
     out.object();
-    const auto container = sys.archival_store().read(cid);
+    // read_verified bypasses the file store's fd/block caches: fsck must
+    // see the medium, not a pristine in-memory image of the container.
+    const auto container = sys.archival_store().read_verified(cid);
     if (!container) {
       view.unreadable.insert(cid);
       out.fail(container_name(cid),
@@ -557,6 +560,10 @@ FsckCheck check_manifest_commit(const HiDeStore& sys,
   Manifest manifest;
   const ManifestStatus status = load_manifest(dir, manifest);
   if (status == ManifestStatus::kMissing) return out.take();
+  if (status == ManifestStatus::kIoError) {
+    out.expect(false, "MANIFEST", "journal unreadable (I/O failure)");
+    return out.take();
+  }
   if (status == ManifestStatus::kCorrupt) {
     out.expect(false, "MANIFEST", "journal unreadable (CRC/format failure)");
     return out.take();
@@ -638,6 +645,97 @@ FsckCheck check_orphan_containers(const HiDeStore& sys,
       out.fail(name, "container ID " + std::to_string(id) +
                          " is at/past the journal's committed watermark " +
                          std::to_string(head->store_next));
+    }
+  }
+  return out.take();
+}
+
+// The partial-read fast path trusts the footer index without reading the
+// data region, so fsck re-derives exactly what it trusts: the file size the
+// header implies, the footer CRC, and non-overlapping entry extents.
+// Containers the framing pass already reported are skipped (cascade
+// suppression); format-2 files have no footer index and pass vacuously.
+FsckCheck check_footer_index(const HiDeStore& sys, const StoreView& view,
+                             const FsckOptions& opt) {
+  CheckBuilder out(Invariant::kFooterIndex, opt.max_findings);
+  const auto& dir = sys.config().storage_dir;
+  if (dir.empty()) return out.take();
+  const auto archival_dir = dir / "archival";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(archival_dir, ec)) return out.take();
+
+  std::vector<std::pair<ContainerId, std::filesystem::path>> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(archival_dir, ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("container_", 0) != 0 || !entry.is_regular_file()) {
+      continue;
+    }
+    // container_<id>.hdsc
+    const auto id_str = name.substr(10, name.size() - 10 - 5);
+    char* end = nullptr;
+    const long id = std::strtol(id_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || id <= 0) continue;
+    files.emplace_back(static_cast<ContainerId>(id), entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& [id, path] : files) {
+    if (view.unreadable.contains(id)) continue;  // framing already reported
+    out.object();
+    const std::string name = path.filename().string();
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = in ? in.tellg() : std::streampos(-1);
+    if (size < 0) {
+      out.fail(name, "container file unreadable");
+      continue;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!in && !bytes.empty()) {
+      out.fail(name, "container file unreadable");
+      continue;
+    }
+    const auto header = Container::parse_header(bytes);
+    if (!header) continue;     // unparseable → framing's finding, not ours
+    if (!header->footer_indexed) continue;  // format 2: no footer index
+    if (bytes.size() != header->expected_file_size()) {
+      out.fail(name, "file size " + std::to_string(bytes.size()) +
+                         " does not match the header-implied " +
+                         std::to_string(header->expected_file_size()));
+      continue;
+    }
+    const std::span<const std::uint8_t> all(bytes);
+    const auto entries = Container::parse_footer(
+        all.first(Container::kHeaderSize),
+        all.subspan(static_cast<std::size_t>(header->footer_offset()),
+                    static_cast<std::size_t>(header->footer_size())));
+    if (!entries) {
+      out.fail(name,
+               "footer index fails its CRC or holds an out-of-bounds extent");
+      continue;
+    }
+    // No two physical extents may overlap: a partial read hands each extent
+    // to exactly one chunk.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+    extents.reserve(entries->size());
+    for (const auto& [fp, entry] : *entries) {
+      (void)fp;
+      if (entry.offset == Container::kVirtualOffset || entry.size == 0) {
+        continue;
+      }
+      extents.emplace_back(entry.offset,
+                           std::uint64_t{entry.offset} + entry.size);
+    }
+    std::sort(extents.begin(), extents.end());
+    for (std::size_t i = 1; i < extents.size(); ++i) {
+      if (extents[i].first < extents[i - 1].second) {
+        out.fail(name, "entry extents overlap at offset " +
+                           std::to_string(extents[i].first));
+        break;
+      }
     }
   }
   return out.take();
@@ -738,6 +836,7 @@ FsckReport run_fsck(HiDeStore& system, const FsckOptions& options) {
   report.checks.push_back(check_accounting(system, view, options));
   report.checks.push_back(check_manifest_commit(system, options));
   report.checks.push_back(check_orphan_containers(system, options));
+  report.checks.push_back(check_footer_index(system, view, options));
   return report;
 }
 

@@ -27,7 +27,14 @@
 //   orphan_containers   no archival container file on disk escapes the
 //                       committed deletion tags or sits at/past the
 //                       journal's container-ID watermark (persistent
-//                       repositories only, §9).
+//                       repositories only, §9);
+//   footer_index        every format-3 container file's footer index is
+//                       self-consistent: file size matches the header,
+//                       the footer CRC validates, and no two entry extents
+//                       overlap in the data region — the partial-read fast
+//                       path (DESIGN.md §10) trusts exactly these facts
+//                       (persistent repositories only; format-2 files pass
+//                       vacuously).
 //
 // The report carries per-invariant pass/fail, object counts and the first
 // offending objects, and renders as text or JSON.
@@ -57,9 +64,10 @@ enum class Invariant {
   kAccounting,
   kManifestCommit,
   kOrphanContainers,
+  kFooterIndex,
 };
 
-inline constexpr std::size_t kInvariantCount = 12;
+inline constexpr std::size_t kInvariantCount = 13;
 
 [[nodiscard]] std::string_view invariant_name(Invariant invariant) noexcept;
 

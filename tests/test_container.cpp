@@ -185,5 +185,96 @@ TEST(Container, SerializeEmptyContainer) {
   EXPECT_EQ(back->chunk_count(), 0u);
 }
 
+TEST(Container, Format3HeaderAndFooterParse) {
+  Container c(42, 64 * 1024);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(c.add(Fingerprint::from_seed(i), bytes_of(i, 700 + i * 13)));
+  }
+  ASSERT_TRUE(c.add_meta(Fingerprint::from_seed(99), 1234));
+  const auto blob = c.serialize();
+
+  const auto header = std::span(blob).first(Container::kHeaderSize);
+  const auto info = Container::parse_header(header);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->footer_indexed);
+  EXPECT_EQ(info->id, 42);
+  EXPECT_EQ(info->count, 7u);
+  // Header data size counts materialized bytes only; the virtual chunk's
+  // 1234 bytes live in the entry table, not the data region.
+  EXPECT_EQ(info->data_size, c.data_size() - 1234);
+  EXPECT_EQ(info->expected_file_size(), blob.size());
+
+  const auto footer = std::span(blob).subspan(
+      static_cast<std::size_t>(info->footer_offset()),
+      static_cast<std::size_t>(info->footer_size()));
+  const auto entries = Container::parse_footer(header, footer);
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_EQ(entries->size(), 7u);
+  for (const auto& [fp, entry] : *entries) {
+    const auto expect = c.find(fp);
+    ASSERT_TRUE(expect.has_value());
+    EXPECT_EQ(entry.offset, expect->offset);
+    EXPECT_EQ(entry.size, expect->size);
+    EXPECT_EQ(entry.crc, expect->crc);
+  }
+}
+
+TEST(Container, FooterCrcCoversHeaderAndTable) {
+  Container c(5, 8192);
+  ASSERT_TRUE(c.add(Fingerprint::from_seed(1), bytes_of(1, 600)));
+  const auto blob = c.serialize();
+  const auto info = *Container::parse_header(std::span(blob).first(20));
+  const auto footer_at = static_cast<std::size_t>(info.footer_offset());
+  const auto footer_len = static_cast<std::size_t>(info.footer_size());
+
+  // Flip a header byte (capacity field): the footer CRC must catch it even
+  // though the table bytes are intact.
+  auto bad_header = blob;
+  bad_header[6] ^= 0x01;
+  EXPECT_FALSE(Container::parse_footer(
+                   std::span(bad_header).first(20),
+                   std::span(bad_header).subspan(footer_at, footer_len))
+                   .has_value());
+
+  // Flip a table byte: same detection.
+  auto bad_table = blob;
+  bad_table[footer_at + footer_len / 2] ^= 0x01;
+  EXPECT_FALSE(Container::parse_footer(
+                   std::span(bad_table).first(20),
+                   std::span(bad_table).subspan(footer_at, footer_len))
+                   .has_value());
+
+  EXPECT_TRUE(Container::parse_footer(
+                  std::span(blob).first(20),
+                  std::span(blob).subspan(footer_at, footer_len))
+                  .has_value());
+}
+
+TEST(Container, LegacyFormat2StillDeserializes) {
+  Container c(11, 64 * 1024);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(c.add(Fingerprint::from_seed(i), bytes_of(i, 900 + i * 7)));
+  }
+  ASSERT_TRUE(c.add_meta(Fingerprint::from_seed(50), 2000));
+  const auto legacy = c.serialize_legacy();
+
+  const auto info = Container::parse_header(std::span(legacy).first(20));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->footer_indexed);
+
+  const auto back = Container::deserialize(legacy);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id(), 11);
+  EXPECT_EQ(back->chunk_count(), 6u);
+  EXPECT_EQ(back->data_size(), c.data_size());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto read = back->read(Fingerprint::from_seed(i));
+    ASSERT_TRUE(read.has_value());
+    const auto expect = bytes_of(i, 900 + i * 7);
+    EXPECT_TRUE(std::equal(read->begin(), read->end(), expect.begin()));
+  }
+  EXPECT_EQ(back->read(Fingerprint::from_seed(50))->size(), 2000u);
+}
+
 }  // namespace
 }  // namespace hds

@@ -146,8 +146,8 @@ TEST(FileCorruption, CorruptContainerFileFailsClosed) {
                     std::make_unique<FileContainerStore>(dir));
   for (const auto& vs : versions) (void)sys.backup(vs);
 
-  // Flip a byte in the middle of every container file: the CRC check must
-  // reject them all, turning the restore into counted failures.
+  // Flip a byte in the middle of every container file: corruption must
+  // never restore silently.
   for (const auto& entry : fs::directory_iterator(dir)) {
     std::fstream file(entry.path(),
                       std::ios::in | std::ios::out | std::ios::binary);
@@ -159,10 +159,26 @@ TEST(FileCorruption, CorruptContainerFileFailsClosed) {
     file.write(&byte, 1);
   }
 
+  // Partial-read path: damage is bounded per chunk — the chunks whose
+  // extents (or whose container's footer) the flip touched fail, nothing
+  // restores from a payload that fails its CRC.
   const auto report = sys.restore(
       3, [](const ChunkLoc&, std::span<const std::uint8_t>) {});
-  EXPECT_EQ(report.stats.failed_chunks, report.stats.restored_chunks);
   EXPECT_GT(report.stats.failed_chunks, 0u);
+  EXPECT_LE(report.stats.failed_chunks, report.stats.restored_chunks);
+
+  // Slurp path (partial reads and caches off): the whole-file CRC rejects
+  // every container outright — the historical fail-closed contract.
+  auto* fstore = dynamic_cast<FileContainerStore*>(&sys.store());
+  ASSERT_NE(fstore, nullptr);
+  FileStoreTuning strict;
+  strict.partial_reads = false;
+  strict.block_cache_bytes = 0;
+  fstore->set_tuning(strict);
+  const auto slurped = sys.restore(
+      3, [](const ChunkLoc&, std::span<const std::uint8_t>) {});
+  EXPECT_EQ(slurped.stats.failed_chunks, slurped.stats.restored_chunks);
+  EXPECT_GT(slurped.stats.failed_chunks, 0u);
   fs::remove_all(dir);
 }
 

@@ -115,11 +115,11 @@ ContainerFile find_payload_container(const fs::path& repo) {
 }
 
 // Flips one payload byte and repairs the file trailer CRC, so framing
-// passes and only the per-chunk CRC can notice.
+// passes and only the per-chunk CRC can notice. Format 3 puts the data
+// region right after the 20-byte header (the entry table is a footer).
 void flip_payload_byte(const ContainerFile& file) {
   auto bytes = slurp(file.path);
-  const std::size_t payload_at =
-      20 + std::size_t{file.entry_count} * 32 + file.data_size / 2;
+  const std::size_t payload_at = 20 + file.data_size / 2;
   ASSERT_LT(payload_at, bytes.size() - 4);
   bytes[payload_at] ^= 0xff;
   const std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
@@ -128,6 +128,65 @@ void flip_payload_byte(const ContainerFile& file) {
         static_cast<std::uint8_t>(crc >> (8 * i));
   }
   spit(file.path, bytes);
+}
+
+void write_u32_at(std::vector<std::uint8_t>& bytes, std::size_t at,
+                  std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// Seeds a footer-index violation that every other invariant is blind to:
+// points entry B's extent at entry A's bytes (overlap), then repairs B's
+// chunk CRC to the newly referenced bytes, the footer CRC and the file CRC.
+// Framing, per-chunk CRC, resolution and accounting all still pass — only
+// the footer index's no-overlap rule can object. Returns false when the
+// container has fewer than two distinct materialized extents.
+bool overlap_footer_entries(const ContainerFile& file) {
+  auto bytes = slurp(file.path);
+  const std::size_t table_at = 20 + file.data_size;
+  // Rows of (row offset in file, entry offset, entry size), non-virtual.
+  std::size_t a_row = 0, b_row = 0;
+  std::uint32_t a_off = 0, b_size = 0;
+  bool have_a = false, have_b = false;
+  for (std::uint32_t i = 0; i < file.entry_count; ++i) {
+    const std::size_t row = table_at + std::size_t{i} * 32;
+    const std::uint32_t off = read_u32_at(bytes, row + 20);
+    const std::uint32_t size = read_u32_at(bytes, row + 24);
+    if (off == 0xFFFFFFFFu || size == 0) continue;
+    // A: the largest extent; B: the smallest other one, so B's extent
+    // relocated to A's offset stays inside the data region.
+    if (!have_a || size > read_u32_at(bytes, a_row + 24)) {
+      if (have_a && (!have_b || read_u32_at(bytes, a_row + 24) < b_size)) {
+        b_row = a_row;
+        b_size = read_u32_at(bytes, a_row + 24);
+        have_b = true;
+      }
+      a_row = row;
+      a_off = off;
+      have_a = true;
+    } else if (!have_b || size < b_size) {
+      b_row = row;
+      b_size = size;
+      have_b = true;
+    }
+  }
+  if (!have_a || !have_b || a_row == b_row) return false;
+
+  write_u32_at(bytes, b_row + 20, a_off);  // B now overlaps A
+  const std::uint32_t new_crc = crc32(bytes.data() + 20 + a_off, b_size);
+  write_u32_at(bytes, b_row + 28, new_crc);
+
+  const std::size_t table_bytes = std::size_t{file.entry_count} * 32;
+  const std::uint32_t footer_crc =
+      crc32(bytes.data() + table_at, table_bytes, crc32(bytes.data(), 20));
+  write_u32_at(bytes, table_at + table_bytes, footer_crc);
+  write_u32_at(bytes, bytes.size() - 4,
+               crc32(bytes.data(), bytes.size() - 4));
+  spit(file.path, bytes);
+  return true;
 }
 
 // --- Clean stores ---
@@ -223,6 +282,33 @@ TEST(Fsck, DetectsTruncatedContainerTail) {
   fs::resize_file(file.path, fs::file_size(file.path) - 16);
 
   expect_only(verify::run_fsck(sys), Invariant::kContainerFraming);
+}
+
+TEST(Fsck, DetectsOverlappingFooterExtents) {
+  TempDir dir("hds_fsck_overlap");
+  HiDeStoreConfig config;
+  config.storage_dir = dir.path;
+  HiDeStore sys(config);
+  ingest(sys, 6);
+  ASSERT_TRUE(verify::run_fsck(sys).clean());
+
+  // Any payload-carrying archival container with 2+ real extents will do.
+  bool seeded = false;
+  for (const auto& entry : fs::directory_iterator(dir.path / "archival")) {
+    if (entry.path().extension() != ".hdsc") continue;
+    const auto bytes = slurp(entry.path());
+    if (bytes.size() < 24) continue;
+    ContainerFile file{entry.path(), read_u32_at(bytes, 12),
+                       read_u32_at(bytes, 16)};
+    if (file.entry_count < 2 || file.data_size == 0) continue;
+    if (overlap_footer_entries(file)) {
+      seeded = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(seeded) << "no container with two materialized extents";
+
+  expect_only(verify::run_fsck(sys), Invariant::kFooterIndex);
 }
 
 TEST(Fsck, DetectsDanglingChainCid) {
