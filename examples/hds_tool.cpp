@@ -23,6 +23,13 @@
 //   hds_tool recover <repo> [--json]             run crash recovery and print
 //                                                its report (exit 0 if the
 //                                                repository opened, 1 if not)
+//   hds_tool profile <repo>                      print recent per-operation
+//                                                profiles ({"ops":[...]} —
+//                                                phase wall/CPU, bytes,
+//                                                cache economics)
+//   hds_tool serve-metrics <repo> [--port=N]     serve /metrics (Prometheus),
+//                                                /profiles and /healthz on
+//                                                127.0.0.1 until Ctrl-C
 //
 // Every command runs crash recovery on open: an interrupted backup rolls
 // back to the last committed version, with a one-line notice on stderr
@@ -31,7 +38,14 @@
 // Observability flags (any command):
 //   --metrics-out=<file>   write a JSON metrics snapshot after the command
 //   --trace-out=<file>     record phase spans, dump Chrome trace_event JSON
+//                          (restores with --threads also get cross-thread
+//                          flow arrows and I/O-wait spans)
+//   --profile-out=<file>   write this invocation's per-operation profiles
+//                          as {"ops":[...]} JSON
 //   HDS_LOG=<level>        structured key=value logs on stderr
+//
+// Every backup/restore additionally appends its profile to
+// <repo>/profiles.jsonl (bounded history; `profile` and /profiles read it).
 //
 // Concurrency:
 //   --threads=N            backup: chunk+fingerprint on N worker threads
@@ -48,6 +62,9 @@
 // Directories are serialized as path+size headers followed by file bytes
 // (same layout as examples/backup_directory), so a restore of a directory
 // backup reproduces that serialized stream.
+#include <signal.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -62,7 +79,9 @@
 #include "chunking/parallel_chunk.h"
 #include "chunking/tttd.h"
 #include "core/hidestore.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "restore/faa.h"
 #include "storage/durable.h"
@@ -154,9 +173,11 @@ void trim_catalog(const fs::path& repo, const HiDeStore& sys) {
 int usage() {
   std::fprintf(stderr,
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
-               "files|restore-file|stats|fsck|recover <repo> [args]\n"
+               "files|restore-file|stats|fsck|recover|profile|serve-metrics "
+               "<repo> [args]\n"
                "       [--metrics-out=<file>] [--trace-out=<file>] "
-               "[--json] [--threads=N]\n"
+               "[--profile-out=<file>]\n"
+               "       [--json] [--threads=N] [--port=N]\n"
                "       [--block-cache-mb=N] [--no-partial-reads]\n"
                "       (restore accepts `all <outprefix>` to write every "
                "version)\n");
@@ -166,12 +187,67 @@ int usage() {
 struct ObsOptions {
   std::string metrics_out;
   std::string trace_out;
+  std::string profile_out;
   bool json = false;
   std::size_t threads = 0;
+  // serve-metrics listen port; 0 = ephemeral (printed at startup).
+  std::uint16_t port = 0;
   // SIZE_MAX = flag absent (keep the default budget).
   std::size_t block_cache_mb = SIZE_MAX;
   bool no_partial_reads = false;
 };
+
+// --- Per-operation profile history (<repo>/profiles.jsonl) ---
+// hds_tool is one process per command, so the in-memory profiler ring dies
+// with each invocation; the repository keeps a bounded JSONL history
+// instead. One OpProfile JSON object per line, oldest first; `profile` and
+// the /profiles endpoint render it back as {"ops":[...]}. Op ids restart
+// per invocation (they order ops within one command, not across).
+constexpr std::size_t kProfileHistory = 64;
+
+std::vector<std::string> read_profile_lines(const fs::path& repo) {
+  std::vector<std::string> lines;
+  std::ifstream in(repo / "profiles.jsonl");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+void append_profiles(const fs::path& repo, const obs::OpProfiler& profiler) {
+  const auto ops = profiler.recent();
+  if (ops.empty()) return;
+  auto lines = read_profile_lines(repo);
+  for (const auto& op : ops) lines.push_back(op.to_json());
+  if (lines.size() > kProfileHistory) {
+    lines.erase(lines.begin(),
+                lines.end() - static_cast<std::ptrdiff_t>(kProfileHistory));
+  }
+  std::string text;
+  for (const auto& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  try {
+    durable::atomic_write_file(repo / "profiles.jsonl", text);
+  } catch (const durable::WriteError& e) {
+    // History is advisory; losing it must not fail the backup/restore.
+    std::fprintf(stderr, "warning: cannot update profiles.jsonl: %s\n",
+                 e.what());
+  }
+}
+
+std::string profiles_json(const fs::path& repo) {
+  const auto lines = read_profile_lines(repo);
+  std::string out = "{\"ops\":[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += ',';
+    out += lines[i];
+  }
+  out += "]}\n";
+  return out;
+}
 
 // Writes the metrics snapshot / trace file if requested. Returns false (and
 // complains) on I/O failure so commands can fail loudly.
@@ -193,6 +269,16 @@ bool finish_observability(HiDeStore& sys, const ObsOptions& options,
     std::fprintf(stderr, "error: cannot write trace to %s\n",
                  options.trace_out.c_str());
     ok = false;
+  }
+  if (!options.profile_out.empty()) {
+    try {
+      durable::atomic_write_file(options.profile_out,
+                                 std::string_view(sys.profiler().to_json()));
+    } catch (const durable::WriteError& e) {
+      std::fprintf(stderr, "error: cannot write profiles to %s: %s\n",
+                   options.profile_out.c_str(), e.what());
+      ok = false;
+    }
   }
   return ok;
 }
@@ -218,10 +304,16 @@ int main(int argc, char** argv) {
       options.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       options.trace_out = arg.substr(12);
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      options.profile_out = arg.substr(14);
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(arg.c_str() + 7, nullptr,
+                                                  10));
     } else if (arg.rfind("--block-cache-mb=", 0) == 0) {
       options.block_cache_mb = std::strtoul(arg.c_str() + 17, nullptr, 10);
     } else if (arg == "--no-partial-reads") {
@@ -306,6 +398,59 @@ int main(int argc, char** argv) {
     const auto text = options.json ? report.to_json() : report.to_text();
     std::fwrite(text.data(), 1, text.size(), stdout);
     return report.clean() ? 0 : 1;
+  }
+
+  if (command == "profile") {
+    const auto text = profiles_json(repo);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+
+  if (command == "serve-metrics") {
+    // Block SIGINT/SIGTERM before any thread spawns so every thread
+    // inherits the mask and sigwait() below is the only consumer.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    obs::HttpServer server(options.port);
+    server.route("/metrics", [&] {
+      obs::HttpServer::Response resp;
+      sys->refresh_gauges();
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = sys->metrics().to_prometheus();
+      return resp;
+    });
+    server.route("/profiles", [&] {
+      // Re-read per request: other hds_tool invocations append to the
+      // history while we serve.
+      obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = profiles_json(repo);
+      return resp;
+    });
+    server.route("/healthz", [&] {
+      obs::HttpServer::Response resp;
+      resp.content_type = "application/json";
+      resp.body = "{\"status\":\"ok\"}\n";
+      return resp;
+    });
+    if (!server.start()) {
+      std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%u: %s\n",
+                   options.port, std::strerror(errno));
+      return 1;
+    }
+    std::printf("serving http://127.0.0.1:%u  (/metrics /profiles /healthz) "
+                "— Ctrl-C stops\n",
+                server.port());
+    std::fflush(stdout);
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    server.stop();
+    std::printf("stopped after %llu requests\n",
+                static_cast<unsigned long long>(server.requests_served()));
+    return 0;
   }
 
   if (command == "backup") {
@@ -496,6 +641,7 @@ int main(int argc, char** argv) {
   }();
 
   sys->set_tracer(nullptr);
+  append_profiles(repo, sys->profiler());  // no-op when the command ran none
   if (!finish_observability(*sys, options, tracer)) return 1;
   return rc;
 }

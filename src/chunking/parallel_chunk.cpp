@@ -47,6 +47,9 @@ VersionStream ParallelChunkPipeline::run(
       config_.metrics ? &config_.metrics->gauge("ingest_queue_depth")
                       : nullptr;
   if (depth_gauge != nullptr) pool.attach_depth_gauge(depth_gauge);
+  if (config_.tracer != nullptr) {
+    pool.attach_tracer(config_.tracer, "ingest_queue");
+  }
 
   // --- Phase 1: speculative per-segment scans (parallel) ---
   std::vector<SegmentScan> scans(n_segments);

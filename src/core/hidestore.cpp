@@ -179,6 +179,8 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   Stopwatch timer;
   obs::Span backup_span(tracer_, "backup");
   const VersionId version = next_version_++;
+  auto prof = profiler_.begin("backup");
+  prof->set_version(static_cast<std::uint32_t>(version));
 
   BackupReport report;
   report.version = version;
@@ -188,6 +190,7 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   Recipe recipe(version);
   {
     obs::Span dedup_span(tracer_, "dedup");
+    auto dedup_phase = prof->phase("dedup");
     for (const auto& chunk : stream.chunks) {
       report.logical_bytes += chunk.size;
       report.logical_chunks++;
@@ -223,6 +226,7 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   ColdMap cold_map;
   {
     obs::Span move_span(tracer_, "move_and_merge");
+    auto move_phase = prof->phase("move_and_merge");
     auto cold = cache_.rotate();
     // The cold chunks were last referenced `window` versions ago.
     const VersionId cold_version =
@@ -244,6 +248,7 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   Stopwatch recipe_timer;
   {
     obs::Span recipe_span(tracer_, "recipe_update");
+    auto recipe_phase = prof->phase("recipe_update");
     if (config_.cache_window == 1) {
       if (Recipe* prev = recipes_.get(version - 1)) {
         update_previous_recipe(*prev, cold_map, version, nullptr);
@@ -267,6 +272,11 @@ BackupReport HiDeStore::backup(const VersionStream& stream) {
   report.disk_lookups = 0;  // HiDeStore never consults an on-disk index
   report.index_memory_bytes = 0;  // no full index table (Fig 10)
   report.elapsed_ms = timer.elapsed_ms();
+  prof->set_chunks(report.logical_chunks);
+  prof->add_bytes(report.logical_bytes, report.stored_bytes);
+  // Backup cache economics: dedup hits / unique chunks (each one a store
+  // write) / nothing wasted on this path.
+  prof->set_cache(t1_hits + t2_hits + t0_hits, report.stored_chunks, 0);
   metrics_.counter("backups_completed").inc();
   metrics_.histogram("backup_ms").observe(report.elapsed_ms);
   refresh_gauges();
@@ -443,6 +453,9 @@ RestoreReport HiDeStore::restore_range(VersionId version,
                                        const ChunkSink& sink) {
   Stopwatch timer;
   obs::Span restore_span(tracer_, "restore");
+  if (tracer_ != nullptr) tracer_->set_thread_name("restore_main");
+  auto prof = profiler_.begin("restore");
+  prof->set_version(static_cast<std::uint32_t>(version));
   RestoreReport report;
   report.version = version;
 
@@ -457,6 +470,7 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   std::size_t hops = 0;
   {
     obs::Span resolve_span(tracer_, "resolve_recipe");
+    auto resolve_phase = prof->phase("resolve_recipe");
     for (const auto& e : recipe->entries()) {
       stream.push_back(resolve(e, chain_cache, &hops));
     }
@@ -474,17 +488,27 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   // immediately.
   const auto reads_before =
       store_->stats().container_reads + pool_.stats().container_reads;
+  const auto phys_before = store_->stats().bytes_read_physical.load(
+      std::memory_order_relaxed);
   std::unique_ptr<ReadAheadFetcher> read_ahead;
   if (read_ahead_depth_ > 0 && whole) {
     ReadAheadConfig ra_config;
     ra_config.depth = read_ahead_depth_;
     ra_config.metrics = &metrics_;
+    ra_config.tracer = tracer_;
+    // Flow ids are base + loc.key() (key's top bit is the 33-bit
+    // active|cid pair), so shifting a fresh tracer id past bit 33 keeps
+    // concurrent restores' flows disjoint.
+    ra_config.flow_id_base =
+        tracer_ != nullptr ? tracer_->next_id() << 33 : 0;
+    ra_config.profile = prof.get();
     read_ahead =
         std::make_unique<ReadAheadFetcher>(direct, stream, ra_config);
     fetcher = read_ahead.get();
   }
   {
     obs::Span policy_span(tracer_, "policy_restore");
+    auto policy_phase = prof->phase("policy_restore");
     report.stats =
         whole ? policy.restore(stream, *fetcher, sink)
               : restore_byte_range(stream, offset, length, policy, *fetcher,
@@ -504,6 +528,15 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   // run's — they are tracked by restore_prefetch_wasted instead.
   report.stats.container_reads = reads_after - reads_before - wasted;
   report.elapsed_ms = timer.elapsed_ms();
+  const auto phys_after = store_->stats().bytes_read_physical.load(
+      std::memory_order_relaxed);
+  prof->set_chunks(report.stats.restored_chunks);
+  prof->add_bytes(report.stats.restored_bytes, phys_after - phys_before);
+  prof->set_container_reads(report.stats.container_reads);
+  // Restore cache economics: policy cache hits / fetches that reached a
+  // store / prefetches the policy's cache made unnecessary.
+  prof->set_cache(report.stats.cache_hits, report.stats.container_reads,
+                  wasted);
   metrics_.counter("restores_completed").inc();
   metrics_.counter("restored_bytes").inc(report.stats.restored_bytes);
   metrics_.counter("restored_chunks").inc(report.stats.restored_chunks);

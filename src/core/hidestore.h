@@ -28,6 +28,7 @@
 #include "core/recipe_chain.h"
 #include "core/recovery.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "storage/container_store.h"
 
@@ -170,8 +171,20 @@ class HiDeStore final : public BackupSystem {
   }
   // Attaches a phase tracer (nullptr detaches). While attached, every
   // backup/restore/delete records nested spans dumpable as Chrome
-  // trace_event JSON.
-  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  // trace_event JSON; the archival store wraps its device reads in spans on
+  // whichever thread issues them, and restores with read-ahead emit
+  // cross-thread flow events (read_ahead.h).
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    store_->set_tracer(tracer);
+  }
+  // Always-on per-operation profiles (phase wall/CPU, logical vs physical
+  // bytes, cache economics, queue-depth samples). Every backup()/restore*()
+  // call commits one OpProfile to this ring; hds_tool exports them.
+  [[nodiscard]] obs::OpProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const obs::OpProfiler& profiler() const noexcept {
+    return profiler_;
+  }
   // Recomputes the repository-state gauges (cache memory, container counts,
   // retained versions, dedup ratio). Called after every mutating operation;
   // exposed so tools can refresh before exporting.
@@ -256,6 +269,7 @@ class HiDeStore final : public BackupSystem {
   std::unordered_map<ContainerId, VersionId> container_version_;
   obs::MetricsRegistry metrics_;
   obs::Tracer* tracer_ = nullptr;
+  obs::OpProfiler profiler_;
 };
 
 }  // namespace hds

@@ -1,0 +1,77 @@
+// Minimal embedded HTTP/1.1 listener — the live metrics surface behind
+// `hds_tool serve-metrics` and the seed of the multi-tenant server mode
+// (ROADMAP item 1).
+//
+// Scope is deliberately tiny: GET-only, loopback-bound, one request per
+// connection (Connection: close), fixed route table registered before
+// start(). That is exactly what a Prometheus scraper or `curl
+// localhost:PORT/metrics` needs and nothing more; request parsing stops at
+// the first header line, so there is no header attack surface to speak of.
+//
+// Threading: start() spawns one accept thread that serves requests
+// serially. Handlers run on that thread — they must be thread-safe against
+// whatever else the process is doing (the metrics registry and profiler
+// are; see their headers). stop() (or the destructor) shuts the listener
+// down and joins the thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace hds::obs {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  // `port` 0 binds an ephemeral port (see port() after start()). Listens on
+  // 127.0.0.1 only — metrics are an operator surface, not a public one.
+  explicit HttpServer(std::uint16_t port = 0);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers a handler for an exact path ("/metrics"). Must be called
+  // before start(); the route table is immutable while serving.
+  void route(std::string path, Handler handler);
+
+  // Binds, listens, and spawns the accept thread. False (with the reason
+  // on stderr left to the caller via errno) if the socket could not be
+  // set up — e.g. the port is taken.
+  bool start();
+
+  // Stops accepting, closes the listener, joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  // The bound port (resolves ephemeral requests after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace hds::obs

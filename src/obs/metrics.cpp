@@ -8,13 +8,6 @@ namespace hds::obs {
 
 namespace {
 
-void atomic_double_add(std::atomic<double>& target, double d) noexcept {
-  double cur = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(cur, cur + d,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
 void atomic_double_min(std::atomic<double>& target, double v) noexcept {
   double cur = target.load(std::memory_order_relaxed);
   while (v < cur && !target.compare_exchange_weak(
@@ -34,6 +27,24 @@ std::string format_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.12g", v);
   return buf;
+}
+
+// Prometheus exposition-format metric names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are free-form (callers may use
+// dots or dashes), so the exporter maps every illegal character to '_' and
+// prefixes names that start with a digit — a real scraper then accepts the
+// whole page instead of rejecting it at the first bad family.
+std::string sanitize_prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
 }
 
 }  // namespace
@@ -60,7 +71,7 @@ void Histogram::observe(double v) noexcept {
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_double_add(sum_, v);
+  detail::atomic_add(sum_, v);
   atomic_double_min(min_, v);
   atomic_double_max(max_, v);
 }
@@ -182,15 +193,21 @@ void MetricsRegistry::reset() {
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock(mu_);
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [raw, c] : counters_) {
+    const auto name = sanitize_prometheus_name(raw);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(c->value()) + "\n";
   }
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [raw, g] : gauges_) {
+    const auto name = sanitize_prometheus_name(raw);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + format_double(g->value()) + "\n";
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [raw, h] : histograms_) {
+    // Exposition-format histogram family: cumulative `_bucket{le="..."}`
+    // rows ending at the mandatory +Inf bucket (== _count), then _sum and
+    // _count.
+    const auto name = sanitize_prometheus_name(raw);
     out += "# TYPE " + name + " histogram\n";
     const auto counts = h->bucket_counts();
     const auto& bounds = h->bounds();

@@ -27,6 +27,29 @@
 
 namespace hds::obs {
 
+namespace detail {
+// Atomic accumulate on a double. With C++20 floating-point atomics
+// (__cpp_lib_atomic_float) this is a single hardware RMW; otherwise it
+// degrades to the classic CAS retry loop.
+//
+// Consistency contract: relaxed ordering in both paths, deliberately. A
+// metric is a statistic read after the fact — its value must never be lost
+// (hence the RMW), but it is never used to PUBLISH other memory, so
+// readers must not infer happens-before from a metric's value. Anything
+// that needs acquire/release semantics (queue hand-off, prefetch buffers)
+// synchronizes through its own mutex/condvar, not through the registry.
+inline void atomic_add(std::atomic<double>& target, double d) noexcept {
+#if defined(__cpp_lib_atomic_float) && __cpp_lib_atomic_float >= 201711L
+  target.fetch_add(d, std::memory_order_relaxed);
+#else
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+#endif
+}
+}  // namespace detail
+
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
@@ -44,12 +67,7 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
-  void add(double d) noexcept {
-    double cur = value_.load(std::memory_order_relaxed);
-    while (!value_.compare_exchange_weak(cur, cur + d,
-                                         std::memory_order_relaxed)) {
-    }
-  }
+  void add(double d) noexcept { detail::atomic_add(value_, d); }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

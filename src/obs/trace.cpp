@@ -46,6 +46,18 @@ std::string format_us(double v) {
 
 }  // namespace
 
+void append_arg(std::string& args, std::string_view key,
+                std::uint64_t value) {
+  if (!args.empty()) args += ",";
+  args += "\"" + json_escape(key) + "\":" + std::to_string(value);
+}
+
+void append_arg(std::string& args, std::string_view key,
+                std::string_view value) {
+  if (!args.empty()) args += ",";
+  args += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+}
+
 // --- Span ---
 
 Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
@@ -57,6 +69,7 @@ Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
 Span::Span(Span&& other) noexcept
     : tracer_(std::exchange(other.tracer_, nullptr)),
       name_(std::move(other.name_)),
+      args_(std::move(other.args_)),
       start_us_(other.start_us_) {}
 
 Span& Span::operator=(Span&& other) noexcept {
@@ -64,17 +77,32 @@ Span& Span::operator=(Span&& other) noexcept {
     end();
     tracer_ = std::exchange(other.tracer_, nullptr);
     name_ = std::move(other.name_);
+    args_ = std::move(other.args_);
     start_us_ = other.start_us_;
   }
   return *this;
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  append_arg(args_, key, value);
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  append_arg(args_, key, value);
 }
 
 void Span::end() noexcept {
   if (tracer_ == nullptr) return;
   Tracer* tracer = std::exchange(tracer_, nullptr);
   try {
-    tracer->record(std::move(name_), start_us_,
-                   tracer->now_us() - start_us_);
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.ts_us = start_us_;
+    event.dur_us = tracer->now_us() - start_us_;
+    event.args = std::move(args_);
+    tracer->record(std::move(event));
   } catch (...) {
     // Tracing must never take down the pipeline.
   }
@@ -91,9 +119,55 @@ double Tracer::now_us() const noexcept {
 }
 
 void Tracer::record(std::string name, double ts_us, double dur_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  if (event.tid == 0) event.tid = current_tid();
   std::lock_guard lock(mu_);
-  events_.push_back(
-      TraceEvent{std::move(name), ts_us, dur_us, current_tid()});
+  events_.push_back(std::move(event));
+}
+
+void Tracer::record_marker(std::string_view name, char ph, std::uint64_t id,
+                           std::string args) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.ts_us = now_us();
+  event.ph = ph;
+  event.id = id;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void Tracer::flow_begin(std::string_view name, std::uint64_t id) {
+  record_marker(name, 's', id, {});
+}
+
+void Tracer::flow_step(std::string_view name, std::uint64_t id) {
+  record_marker(name, 't', id, {});
+}
+
+void Tracer::flow_end(std::string_view name, std::uint64_t id) {
+  record_marker(name, 'f', id, {});
+}
+
+void Tracer::instant(std::string_view name) {
+  record_marker(name, 'i', 0, {});
+}
+
+void Tracer::set_thread_name(std::string_view name) {
+  std::string args;
+  append_arg(args, "name", name);
+  TraceEvent event;
+  event.name = "thread_name";
+  event.ts_us = 0.0;
+  event.ph = 'M';
+  event.args = std::move(args);
+  record(std::move(event));
 }
 
 std::size_t Tracer::event_count() const {
@@ -113,9 +187,22 @@ std::string Tracer::to_json() const {
   for (const auto& e : events_) {
     if (!first) out += ",";
     out += "\n{\"name\":\"" + json_escape(e.name) +
-           "\",\"cat\":\"hds\",\"ph\":\"X\",\"ts\":" + format_us(e.ts_us) +
-           ",\"dur\":" + format_us(e.dur_us) +
-           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+           "\",\"cat\":\"hds\",\"ph\":\"" + e.ph +
+           "\",\"ts\":" + format_us(e.ts_us);
+    if (e.ph == 'X') out += ",\"dur\":" + format_us(e.dur_us);
+    // Flow ids render in hex so they read as opaque tokens, not counts.
+    if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(e.id));
+      out += ",\"id\":\"" + std::string(buf) + "\"";
+    }
+    // Bind the flow arrowhead to the enclosing slice, not the next one.
+    if (e.ph == 'f') out += ",\"bp\":\"e\"";
+    if (e.ph == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) out += ",\"args\":{" + e.args + "}";
+    out += "}";
     first = false;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -1,16 +1,27 @@
 // Phase tracer — RAII spans recording nested begin/end timestamps of the
 // backup/restore pipeline phases (dedup, cold-chunk eviction, recipe
-// update, recipe resolution, policy restore, ...).
+// update, recipe resolution, policy restore, ...), plus the cross-thread
+// machinery that makes a 4-thread restore readable as ONE timeline:
+//
+//   * spans ("X" complete events) with optional key/value args;
+//   * flow events ("s"/"t"/"f") that visually connect a container's journey
+//     from the read-ahead prefetch thread through the block cache to the
+//     assembling restorer — same flow id on every hop;
+//   * instant events ("i") for point occurrences (cache hits);
+//   * thread-name metadata ("M") so the fetcher/restorer threads are
+//     labeled instead of numbered.
 //
 // Spans are cheap when no tracer is attached: a Span constructed with a
 // null Tracer* is a no-op, so instrumented code can unconditionally open
 // spans and pay nothing unless tracing was requested (hds_tool
-// --trace-out=<file>).
+// --trace-out=<file>). The same null-check contract applies to the flow /
+// instant / thread-name helpers.
 //
-// The recorded timeline dumps as Chrome trace_event JSON ("X" complete
-// events, microsecond timestamps) loadable in chrome://tracing or Perfetto.
+// The recorded timeline dumps as Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -35,20 +46,33 @@ class Span {
   Span& operator=(Span&& other) noexcept;
   ~Span() { end(); }
 
+  // Attaches a key/value pair to the event's "args" object (shown in the
+  // trace viewer's detail pane). No-op on a null span.
+  void arg(std::string_view key, std::uint64_t value);
+  void arg(std::string_view key, std::string_view value);
+
   // Finishes the span early; idempotent.
   void end() noexcept;
 
  private:
   Tracer* tracer_ = nullptr;
   std::string name_;
+  std::string args_;  // pre-rendered JSON object body ("k":v,"k2":v2)
   double start_us_ = 0.0;
 };
 
 struct TraceEvent {
   std::string name;
   double ts_us = 0.0;   // microseconds since the tracer's origin
-  double dur_us = 0.0;  // duration in microseconds
+  double dur_us = 0.0;  // duration in microseconds ("X" events only)
   std::uint64_t tid = 0;
+  // Chrome trace_event phase: 'X' complete, 's'/'t'/'f' flow start/step/
+  // finish, 'i' instant, 'M' metadata (thread names).
+  char ph = 'X';
+  // Flow binding id ('s'/'t'/'f'): events sharing an id draw as one arrow
+  // chain across threads.
+  std::uint64_t id = 0;
+  std::string args;  // pre-rendered JSON object body; empty = no args
 };
 
 class Tracer {
@@ -57,10 +81,31 @@ class Tracer {
 
   [[nodiscard]] Span span(std::string_view name) { return {this, name}; }
 
+  // Flow events — arrows across threads. A flow with id I starts at the
+  // 's' event, passes every 't', and terminates at the 'f' event; each
+  // event binds to the span enclosing it on its own thread. Use next_id()
+  // (or any scheme that never collides) to pick ids.
+  void flow_begin(std::string_view name, std::uint64_t id);
+  void flow_step(std::string_view name, std::uint64_t id);
+  void flow_end(std::string_view name, std::uint64_t id);
+
+  // Thread-scoped instant event (a point marker on this thread's track).
+  void instant(std::string_view name);
+
+  // Names the calling thread's track in the viewer ("restore_prefetch",
+  // "restore_main", ...). Safe to call repeatedly; last call wins.
+  void set_thread_name(std::string_view name);
+
+  // Process-unique id source for flows / operations.
+  [[nodiscard]] std::uint64_t next_id() noexcept {
+    return id_source_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   // Microseconds since this tracer was constructed.
   [[nodiscard]] double now_us() const noexcept;
 
   void record(std::string name, double ts_us, double dur_us);
+  void record(TraceEvent event);
 
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -72,9 +117,20 @@ class Tracer {
   bool dump(const std::filesystem::path& path) const;
 
  private:
+  void record_marker(std::string_view name, char ph, std::uint64_t id,
+                     std::string args);
+
   std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::uint64_t> id_source_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
+
+// Renders a key/value pair onto an args body string (comma-separated
+// "k":v list without the surrounding braces). Shared by Span::arg and
+// call sites that build TraceEvent args directly.
+void append_arg(std::string& args, std::string_view key, std::uint64_t value);
+void append_arg(std::string& args, std::string_view key,
+                std::string_view value);
 
 }  // namespace hds::obs

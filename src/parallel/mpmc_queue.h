@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hds::parallel {
 
@@ -35,7 +36,16 @@ class BoundedQueue {
   // queue was closed before space appeared.
   bool push(T item) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (!closed_ && items_.size() >= capacity_) {
+      // Only a wait that actually blocks earns a span — recording one per
+      // push would drown the trace in zero-length events.
+      obs::Span wait(tracer_, push_wait_name_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    } else {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     publish_depth(items_.size());
@@ -57,7 +67,12 @@ class BoundedQueue {
   // closed AND drained, so no pushed item is ever lost.
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (!closed_ && items_.empty()) {
+      obs::Span wait(tracer_, pop_wait_name_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    } else {
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -105,6 +120,16 @@ class BoundedQueue {
     publish_depth(items_.size());
   }
 
+  // Records a "<name>_pop_wait" / "<name>_push_wait" span whenever a
+  // pop()/push() actually blocks — the queue-wait signal of the restore/
+  // ingest timelines. The tracer must outlive the queue; nullptr detaches.
+  void attach_tracer(obs::Tracer* tracer, std::string_view name) {
+    std::lock_guard lock(mu_);
+    tracer_ = tracer;
+    pop_wait_name_ = std::string(name) + "_pop_wait";
+    push_wait_name_ = std::string(name) + "_push_wait";
+  }
+
  private:
   void publish_depth(std::size_t depth) {
     if (depth_gauge_ != nullptr) {
@@ -119,6 +144,9 @@ class BoundedQueue {
   std::deque<T> items_;
   bool closed_ = false;
   obs::Gauge* depth_gauge_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::string pop_wait_name_;
+  std::string push_wait_name_;
 };
 
 }  // namespace hds::parallel

@@ -50,6 +50,11 @@ class ThreadPool {
     queue_.attach_depth_gauge(gauge);
   }
 
+  // Queue-wait spans for the obs layer (see BoundedQueue::attach_tracer).
+  void attach_tracer(obs::Tracer* tracer, std::string_view name) {
+    queue_.attach_tracer(tracer, name);
+  }
+
  private:
   void worker_loop();
 

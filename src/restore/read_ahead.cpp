@@ -11,6 +11,9 @@ ReadAheadFetcher::ReadAheadFetcher(ContainerFetcher& base,
       stream_(stream),
       depth_(config.depth == 0 ? 1 : config.depth),
       metrics_(config.metrics),
+      tracer_(config.tracer),
+      flow_id_base_(config.flow_id_base),
+      profile_(config.profile),
       thread_([this] { prefetch_loop(); }) {}
 
 ReadAheadFetcher::~ReadAheadFetcher() { stop(); }
@@ -32,13 +35,20 @@ void ReadAheadFetcher::prefetch_loop() {
   // re-fetches it later, the consumer's miss path reads it directly —
   // exactly the read the serial run would have done.
   std::unordered_set<std::uint64_t> walked;
+  if (tracer_ != nullptr) tracer_->set_thread_name("restore_prefetch");
   for (const ChunkLoc& loc : stream_) {
     if (loc.active) continue;  // the active pool is consumer-thread-only
     const std::uint64_t key = loc.key();
     if (!walked.insert(key).second) continue;
     {
       std::unique_lock lock(mu_);
-      space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
+      if (!stop_ && buffer_.size() >= depth_ && tracer_ != nullptr) {
+        // Backpressure wait: the buffer is full, the consumer is behind.
+        obs::Span wait(tracer_, "prefetch_buffer_full");
+        space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
+      } else {
+        space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
+      }
       if (stop_) break;
       // Resident, in flight, or being read directly by the consumer right
       // now: the container is already paid for, don't read it twice.
@@ -46,7 +56,15 @@ void ReadAheadFetcher::prefetch_loop() {
       ++issued_;
       publish_depth();
     }
+    obs::Span read_span(tracer_, "prefetch_read");
+    read_span.arg("cid", static_cast<std::uint64_t>(loc.cid));
     auto container = base_.fetch(loc);  // the one counted store read
+    if (tracer_ != nullptr) {
+      // Flow start: this container's journey begins on the fetcher thread;
+      // the consumer's fetch() terminates it (same id) on its own thread.
+      tracer_->flow_begin("container", flow_id_base_ + key);
+    }
+    read_span.end();
     {
       std::lock_guard lock(mu_);
       const auto it = buffer_.find(key);
@@ -75,11 +93,14 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
     if (!it->second.ready) {
       // In flight on the prefetch thread; its read is the counted one.
       // Re-find inside the predicate: inserts may rehash the map while we
-      // wait, invalidating `it`.
+      // wait, invalidating `it`. The wait is the restorer's I/O-wait: the
+      // span shows the consumer stalled on an in-flight prefetch read.
+      obs::Span wait(tracer_, "fetch_wait_inflight");
       ready_.wait(lock, [&] {
         const auto cur = buffer_.find(key);
         return cur == buffer_.end() || cur->second.ready;
       });
+      wait.end();
       it = buffer_.find(key);
     }
     if (it != buffer_.end() && it->second.ready) {
@@ -90,6 +111,11 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
       publish_depth();
       space_.notify_all();
       lock.unlock();
+      if (tracer_ != nullptr) {
+        // Flow finish, bound to the enclosing restorer-side span: the
+        // arrow lands where the container is consumed.
+        tracer_->flow_end("container", flow_id_base_ + key);
+      }
       if (metrics_ != nullptr) {
         metrics_->counter("restore_prefetch_hits").inc();
       }
@@ -118,6 +144,9 @@ void ReadAheadFetcher::publish_depth() {
   if (metrics_ != nullptr) {
     metrics_->gauge("restore_prefetch_depth")
         .set(static_cast<double>(buffer_.size()));
+  }
+  if (profile_ != nullptr) {
+    profile_->sample_queue_depth(static_cast<double>(buffer_.size()));
   }
 }
 

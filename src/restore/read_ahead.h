@@ -36,6 +36,8 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "restore/restorer.h"
 
 namespace hds {
@@ -46,6 +48,19 @@ struct ReadAheadConfig {
   std::size_t depth = 8;
   // Optional restore_prefetch_* counters and buffer-depth gauge.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional cross-thread tracing: the prefetch thread wraps each store
+  // read in a "prefetch_read" span and starts a "container" flow per
+  // container; the consumer's fetch() terminates the flow when it takes
+  // the buffered container, so the trace draws an arrow from the fetcher
+  // thread into the restorer's "fetch_wait"/policy span. Ids are
+  // flow_id_base + loc.key(), so the caller must pick a base disjoint
+  // across concurrent restores (e.g. tracer->next_id() << 33).
+  obs::Tracer* tracer = nullptr;
+  std::uint64_t flow_id_base = 0;
+  // Optional per-op profiling: buffer-depth samples land in the active
+  // operation's recorder (thread-safe; see OpRecorder). Must outlive the
+  // fetcher.
+  obs::OpRecorder* profile = nullptr;
 };
 
 class ReadAheadFetcher final : public ContainerFetcher {
@@ -87,6 +102,9 @@ class ReadAheadFetcher final : public ContainerFetcher {
   std::span<const ChunkLoc> stream_;
   const std::size_t depth_;
   obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+  const std::uint64_t flow_id_base_;
+  obs::OpRecorder* profile_;
 
   mutable std::mutex mu_;
   std::condition_variable space_;  // prefetcher waits for buffer room

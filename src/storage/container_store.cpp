@@ -231,8 +231,14 @@ ContainerStore::ReadResult FileContainerStore::slurp(ContainerId id) {
   if (!handle.valid()) {
     throw ReadError(id, std::string("open failed: ") + std::strerror(errno));
   }
+  // I/O-wait span on the issuing thread: the whole-file pread is the
+  // disk time a cache miss costs here.
+  obs::Span io_span(tracer(), "store_slurp");
+  io_span.arg("cid", static_cast<std::uint64_t>(id));
+  io_span.arg("bytes", static_cast<std::uint64_t>(handle.size()));
   std::vector<std::uint8_t> bytes(handle.size());
   pread_exact(handle.fd(), bytes.data(), bytes.size(), 0, id);
+  io_span.end();
   auto container = Container::deserialize(bytes);
   // Corrupt (CRC/framing) is not an I/O error: nullptr, nothing cached.
   if (!container) return {};
@@ -262,6 +268,10 @@ std::optional<ContainerStore::ReadResult> FileContainerStore::try_partial_read(
   if (!handle.valid()) {
     throw ReadError(id, std::string("open failed: ") + std::strerror(errno));
   }
+  // Covers header + footer + extent preads; a short span that ends in a
+  // nullopt return is a fallback-to-slurp probe, also worth seeing.
+  obs::Span io_span(tracer(), "store_partial_read");
+  io_span.arg("cid", static_cast<std::uint64_t>(id));
   if (handle.size() < Container::kHeaderSize) return std::nullopt;
   std::array<std::uint8_t, Container::kHeaderSize> header{};
   pread_exact(handle.fd(), header.data(), header.size(), 0, id);
@@ -344,6 +354,8 @@ std::optional<ContainerStore::ReadResult> FileContainerStore::try_partial_read(
     }
   }
 
+  io_span.arg("physical_bytes", physical);
+  io_span.end();
   partial_reads_.fetch_add(1, std::memory_order_relaxed);
   const bool complete = out.chunk_count() == total_entries;
   auto shared = std::make_shared<const Container>(std::move(out));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/block_cache.h"
 #include "storage/container.h"
 #include "storage/fd_cache.h"
@@ -171,6 +172,12 @@ class ContainerStore {
   void attach_metrics(obs::MetricsRegistry& registry,
                       std::string_view prefix);
 
+  // Wraps device reads in "store_slurp" / "store_partial_read" I/O-wait
+  // spans on whichever thread issues them — the restore timeline's
+  // disk-time signal. Setup operation (see thread-safety contract); the
+  // tracer must outlive the store; nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   [[nodiscard]] ContainerId next_id() const noexcept { return next_id_; }
 
   // Persistence support: restores the ID counter of a reloaded store so
@@ -199,6 +206,8 @@ class ContainerStore {
   virtual ReadResult do_read_verified(ContainerId id) { return do_read(id); }
   virtual bool do_erase(ContainerId id) = 0;
 
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   [[nodiscard]] std::shared_ptr<const Container> account_read(
       ReadResult&& result);
@@ -212,6 +221,7 @@ class ContainerStore {
   obs::Counter* m_bytes_written_ = nullptr;
   obs::Counter* m_bytes_read_ = nullptr;
   obs::Counter* m_bytes_read_physical_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class MemoryContainerStore final : public ContainerStore {

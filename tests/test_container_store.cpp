@@ -1,6 +1,7 @@
 // Tests for ContainerStore backends: I/O accounting, ID reservation, erase
 // semantics, and the file backend's on-disk round trip.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -32,9 +33,13 @@ std::unique_ptr<ContainerStore> make_store<MemoryContainerStore>() {
 
 template <>
 std::unique_ptr<ContainerStore> make_store<FileContainerStore>() {
+  // The pid keeps concurrent ctest workers (each a fresh process whose
+  // counter restarts at 0) out of each other's directories.
   static int counter = 0;
-  const auto dir = std::filesystem::temp_directory_path() /
-                   ("hds_store_test_" + std::to_string(counter++));
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hds_store_test_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter++));
   std::filesystem::remove_all(dir);
   return std::make_unique<FileContainerStore>(dir);
 }

@@ -1,0 +1,151 @@
+// Tests for the embedded metrics HTTP listener (src/obs/http.h): ephemeral
+// port binding, route dispatch, query-string stripping, 404/405/400
+// handling, handler exceptions becoming 500s, request counting, and
+// stop()/restart behavior. Uses a tiny blocking loopback client.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "obs/http.h"
+
+namespace hds::obs {
+namespace {
+
+// One-shot HTTP client: sends `raw` to 127.0.0.1:port and returns the whole
+// response (the server always closes after one response).
+std::string talk(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return talk(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+TEST(HttpServer, BindsEphemeralPortAndServesRoute) {
+  HttpServer server(0);
+  server.route("/ping", [] {
+    HttpServer::Response r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);  // ephemeral request resolved
+
+  const auto response = get(server.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong\n"), std::string::npos);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, RoutesIgnoreQueryStrings) {
+  HttpServer server(0);
+  server.route("/metrics", [] {
+    HttpServer::Response r;
+    r.body = "m 1\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start());
+  const auto response = get(server.port(), "/metrics?refresh=1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("m 1"), std::string::npos);
+}
+
+TEST(HttpServer, UnknownRouteIs404) {
+  HttpServer server(0);
+  server.route("/metrics", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start());
+  const auto response = get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(response.find("no such route"), std::string::npos);
+}
+
+TEST(HttpServer, NonGetIs405AndGarbageIs400) {
+  HttpServer server(0);
+  server.route("/", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start());
+  const auto post =
+      talk(server.port(), "POST / HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  const auto garbage = talk(server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(garbage.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server(0);
+  server.route("/boom", []() -> HttpServer::Response {
+    throw std::runtime_error("kaboom");
+  });
+  ASSERT_TRUE(server.start());
+  const auto response = get(server.port(), "/boom");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  EXPECT_NE(response.find("handler failed"), std::string::npos);
+}
+
+TEST(HttpServer, StopIsIdempotentAndPortIsReusable) {
+  std::uint16_t port = 0;
+  {
+    HttpServer server(0);
+    server.route("/", [] { return HttpServer::Response{}; });
+    ASSERT_TRUE(server.start());
+    port = server.port();
+    server.stop();
+    server.stop();  // second stop must be a no-op
+    EXPECT_FALSE(server.running());
+  }
+  // The listener closed its socket, so a new server can take the same port
+  // right away (SO_REUSEADDR covers the TIME_WAIT case).
+  HttpServer again(port);
+  again.route("/", [] { return HttpServer::Response{}; });
+  EXPECT_TRUE(again.start());
+  EXPECT_EQ(again.port(), port);
+  EXPECT_NE(get(port, "/").find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, CountsServedRequests) {
+  HttpServer server(0);
+  server.route("/", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 3; ++i) (void)get(server.port(), "/");
+  (void)get(server.port(), "/missing");  // 404s count as served too
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 4u);
+}
+
+}  // namespace
+}  // namespace hds::obs

@@ -422,5 +422,97 @@ TEST(ObsIntegration, OverheadsViewMatchesRegistry) {
   EXPECT_EQ(m.find_counter("delete_chunks_scanned")->value(), 0u);
 }
 
+// --- Histogram::quantile edge cases ---
+
+TEST(Metrics, QuantileOfEmptyHistogramIsZeroForAllQ) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(Metrics, QuantileOfSingleSampleIsThatSample) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(7.0);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 7.0) << "q=" << q;
+  }
+}
+
+TEST(Metrics, QuantileWithEverythingInOverflowBucket) {
+  // All samples past the last bound land in the +Inf bucket; quantiles must
+  // stay inside [min, max] instead of reporting the (infinite) bucket edge.
+  obs::Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  h.observe(100.0);
+  h.observe(150.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 150.0);
+  const double mid = h.quantile(0.5);
+  EXPECT_GE(mid, 50.0);
+  EXPECT_LE(mid, 150.0);
+}
+
+TEST(Metrics, QuantileExactAtExtremes) {
+  obs::Histogram h({10.0, 20.0, 30.0});
+  for (int v = 11; v <= 29; ++v) h.observe(static_cast<double>(v));
+  // q=0 reports the recorded minimum, q=1 the recorded maximum, exactly —
+  // not the enclosing bucket edges (10 / 30).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 11.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 29.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, QuantileIsMonotoneInQ) {
+  obs::Histogram h;
+  for (int v = 0; v < 1000; ++v) h.observe(0.01 * v);
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+// --- Prometheus exposition-format compliance ---
+
+TEST(Metrics, PrometheusSanitizesIllegalNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("io.read-errors").inc(2);
+  registry.gauge("2fast").set(1.0);
+  // Integral sample: every VALUE on the page renders dot-free, so the
+  // no-dots assertion below checks exactly the names.
+  registry.histogram("lat.ms", {1.0}).observe(1.0);
+
+  const auto text = registry.to_prometheus();
+  // Dots and dashes map to underscores; digit-leading names get a prefix.
+  EXPECT_NE(text.find("# TYPE io_read_errors counter\nio_read_errors 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE _2fast gauge\n_2fast 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // No illegal characters survive anywhere on the page.
+  EXPECT_EQ(text.find('.'), std::string::npos);
+  EXPECT_EQ(text.find('-'), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHistogramFamilyIsComplete) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const auto text = registry.to_prometheus();
+  // Cumulative buckets, mandatory +Inf row equal to _count, then _sum and
+  // _count — the full exposition-format histogram family.
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hds

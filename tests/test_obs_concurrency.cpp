@@ -1,0 +1,147 @@
+// Concurrency tests for the metrics primitives and the profiler's
+// cross-thread depth sampling. Run under TSan in CI (LABELS concurrency):
+// the exactness assertions catch lost updates (a broken CAS loop in
+// detail::atomic_add), TSan catches ordering bugs the totals can't see.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace hds::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIters = 20'000;
+
+TEST(ObsConcurrency, CounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) counter.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// Gauge::add is the float fetch_add path (__cpp_lib_atomic_float or the
+// CAS fallback) — every update must land, none may be lost to a race.
+TEST(ObsConcurrency, GaugeAddsAreExact) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("depth");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) gauge.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Each addend is 1.0 and the total stays far below 2^53, so the float
+  // sum is exact — any shortfall is a lost update, not rounding.
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIters);
+}
+
+TEST(ObsConcurrency, HistogramObservesAreExact) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("lat", {1.0, 10.0, 100.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &histogram] {
+      for (int i = 0; i < kIters; ++i) {
+        // Spread observations across all buckets including overflow.
+        histogram.observe(static_cast<double>((t + i) % 4) * 50.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  // Per thread the observed values cycle 0,50,100,150 — kIters/4 each.
+  const double per_thread = (0.0 + 50.0 + 100.0 + 150.0) * (kIters / 4);
+  EXPECT_DOUBLE_EQ(histogram.sum(), per_thread * kThreads);
+}
+
+// Concurrent registration: create-if-missing must hand every thread the
+// same counter, and all increments must survive.
+TEST(ObsConcurrency, RegistrationRacesResolveToOneFamily) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter("shared").inc();
+        registry.gauge("g").add(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * 1000);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(),
+                   static_cast<double>(kThreads) * 1000);
+}
+
+// The restore read-ahead thread samples queue depth through the recorder
+// while the op thread keeps recording phases — the one sanctioned
+// cross-thread use of OpRecorder (see profiler.h threading note).
+TEST(ObsConcurrency, DepthSamplingRacesPhaseRecording) {
+  OpProfiler profiler;
+  auto rec = profiler.begin("restore");
+  std::thread sampler([&rec] {
+    for (int i = 0; i < kIters; ++i) {
+      rec->sample_queue_depth(static_cast<double>(i % 32));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto phase = rec->phase("tick");
+    rec->add_bytes(1, 1);
+  }
+  sampler.join();  // sampling thread must be done before finish()
+  rec.reset();
+  const auto ops = profiler.recent();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].queue_depth.size(), OpRecorder::kDepthSamples);
+  EXPECT_DOUBLE_EQ(ops[0].queue_depth_peak, 31.0);
+  EXPECT_EQ(ops[0].bytes_logical, 200u);
+}
+
+// Scrape-while-writing: to_prometheus() renders while other threads keep
+// mutating every metric kind. Values are racy by design; TSan verifies the
+// reads are at least well-ordered.
+TEST(ObsConcurrency, PrometheusRenderDuringWrites) {
+  MetricsRegistry registry;
+  // Register up front so the very first render already sees all three
+  // families — otherwise it can race the writers' create-if-missing and
+  // legitimately print an empty page.
+  auto& counter = registry.counter("c");
+  auto& gauge = registry.gauge("g");
+  auto& histogram = registry.histogram("h");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.inc();
+        gauge.add(0.5);
+        histogram.observe(3.0);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto text = registry.to_prometheus();
+    EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+}
+
+}  // namespace
+}  // namespace hds::obs

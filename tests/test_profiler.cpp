@@ -1,0 +1,185 @@
+// Tests for the per-operation profiler (src/obs/profiler.h): phase timing,
+// byte/cache accounting, the queue-depth sample ring, ring-buffer eviction
+// in the profiler, JSON shape, and the HiDeStore integration (every
+// backup/restore commits one profile with the right phases and counts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/hidestore.h"
+#include "obs/profiler.h"
+#include "restore/faa.h"
+#include "workload/generator.h"
+
+namespace hds {
+namespace {
+
+const obs::PhaseTiming* find_phase(const obs::OpProfile& op,
+                                   std::string_view name) {
+  for (const auto& p : op.phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+TEST(Profiler, RecorderCommitsOnDestruction) {
+  obs::OpProfiler profiler;
+  {
+    auto rec = profiler.begin("backup");
+    rec->set_version(3);
+    rec->add_bytes(100, 40);
+    rec->set_chunks(7);
+    rec->set_cache(5, 2, 1);
+  }
+  const auto ops = profiler.recent();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, "backup");
+  EXPECT_EQ(ops[0].version, 3u);
+  EXPECT_EQ(ops[0].bytes_logical, 100u);
+  EXPECT_EQ(ops[0].bytes_physical, 40u);
+  EXPECT_EQ(ops[0].chunks, 7u);
+  EXPECT_EQ(ops[0].cache_hits, 5u);
+  EXPECT_EQ(ops[0].cache_misses, 2u);
+  EXPECT_EQ(ops[0].cache_wasted, 1u);
+  EXPECT_GE(ops[0].wall_ms, 0.0);
+  EXPECT_EQ(profiler.completed(), 1u);
+}
+
+TEST(Profiler, FinishIsIdempotent) {
+  obs::OpProfiler profiler;
+  auto rec = profiler.begin("restore");
+  rec->finish();
+  rec->finish();
+  rec.reset();  // destructor must not double-commit
+  EXPECT_EQ(profiler.recent().size(), 1u);
+}
+
+TEST(Profiler, PhasesMeasureWallTime) {
+  obs::OpProfiler profiler;
+  {
+    auto rec = profiler.begin("restore");
+    {
+      auto phase = rec->phase("sleepy");
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    { auto phase = rec->phase("instant"); }
+  }
+  const auto ops = profiler.recent();
+  ASSERT_EQ(ops.size(), 1u);
+  ASSERT_EQ(ops[0].phases.size(), 2u);
+  const auto* sleepy = find_phase(ops[0], "sleepy");
+  ASSERT_NE(sleepy, nullptr);
+  EXPECT_GE(sleepy->wall_ms, 10.0);
+  // A sleeping phase burns (almost) no CPU — the I/O-wait signal.
+  EXPECT_LT(sleepy->cpu_ms, sleepy->wall_ms);
+  const auto* instant = find_phase(ops[0], "instant");
+  ASSERT_NE(instant, nullptr);
+  EXPECT_LT(instant->wall_ms, sleepy->wall_ms);
+}
+
+TEST(Profiler, RingEvictsOldestBeyondCapacity) {
+  obs::OpProfiler profiler(4);
+  for (int i = 0; i < 10; ++i) {
+    auto rec = profiler.begin("op");
+    rec->set_version(static_cast<std::uint32_t>(i));
+  }
+  const auto ops = profiler.recent();
+  ASSERT_EQ(ops.size(), 4u);
+  // Oldest first, only the last four retained.
+  EXPECT_EQ(ops.front().version, 6u);
+  EXPECT_EQ(ops.back().version, 9u);
+  EXPECT_EQ(profiler.completed(), 10u);
+  // Ids stay monotonic across evictions.
+  EXPECT_EQ(ops.back().id, 10u);
+}
+
+TEST(Profiler, QueueDepthRingKeepsLastSamplesAndPeak) {
+  obs::OpProfiler profiler;
+  {
+    auto rec = profiler.begin("restore");
+    const auto n = obs::OpRecorder::kDepthSamples + 10;
+    for (std::size_t i = 0; i < n; ++i) {
+      rec->sample_queue_depth(static_cast<double>(i));
+    }
+  }
+  const auto ops = profiler.recent();
+  ASSERT_EQ(ops.size(), 1u);
+  // Ring keeps the most recent kDepthSamples values, oldest first.
+  ASSERT_EQ(ops[0].queue_depth.size(), obs::OpRecorder::kDepthSamples);
+  EXPECT_DOUBLE_EQ(ops[0].queue_depth.front(), 10.0);
+  EXPECT_DOUBLE_EQ(ops[0].queue_depth.back(),
+                   static_cast<double>(obs::OpRecorder::kDepthSamples + 9));
+  EXPECT_DOUBLE_EQ(ops[0].queue_depth_peak,
+                   static_cast<double>(obs::OpRecorder::kDepthSamples + 9));
+}
+
+TEST(Profiler, ToJsonIsWellFormedish) {
+  obs::OpProfiler profiler;
+  {
+    auto rec = profiler.begin("backup");
+    auto phase = rec->phase("dedup");
+    rec->add_bytes(1, 2);
+    rec->sample_queue_depth(3.0);
+  }
+  const auto json = profiler.to_json();
+  EXPECT_NE(json.find("\"ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"backup\""), std::string::npos);
+  EXPECT_NE(json.find("\"dedup\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --- HiDeStore integration ---
+
+TEST(Profiler, BackupAndRestoreCommitProfiles) {
+  auto wl = WorkloadProfile::kernel();
+  wl.versions = 3;
+  wl.chunks_per_version = 200;
+  VersionChainGenerator gen(wl);
+
+  HiDeStore sys;
+  for (std::uint32_t v = 0; v < wl.versions; ++v) {
+    (void)sys.backup(gen.next_version());
+  }
+  FaaRestore policy{{}};
+  std::uint64_t restored = 0;
+  (void)sys.restore_with(1, policy,
+                         [&](const ChunkLoc&, std::span<const std::uint8_t> b) {
+                           restored += b.size();
+                         });
+  ASSERT_GT(restored, 0u);
+
+  const auto ops = sys.profiler().recent();
+  ASSERT_EQ(ops.size(), 4u);  // 3 backups + 1 restore
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].kind, "backup");
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].version,
+              static_cast<std::uint32_t>(i + 1));
+    EXPECT_NE(find_phase(ops[static_cast<std::size_t>(i)], "dedup"), nullptr);
+    EXPECT_NE(find_phase(ops[static_cast<std::size_t>(i)], "move_and_merge"),
+              nullptr);
+    EXPECT_NE(find_phase(ops[static_cast<std::size_t>(i)], "recipe_update"),
+              nullptr);
+    EXPECT_GT(ops[static_cast<std::size_t>(i)].bytes_logical, 0u);
+    EXPECT_GT(ops[static_cast<std::size_t>(i)].chunks, 0u);
+  }
+  const auto& restore = ops[3];
+  EXPECT_EQ(restore.kind, "restore");
+  EXPECT_EQ(restore.version, 1u);
+  EXPECT_NE(find_phase(restore, "resolve_recipe"), nullptr);
+  EXPECT_NE(find_phase(restore, "policy_restore"), nullptr);
+  EXPECT_EQ(restore.bytes_logical, restored);
+  EXPECT_GT(restore.container_reads, 0u);
+  EXPECT_EQ(restore.cache_misses, restore.container_reads);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Compares one or more --benchmark_format=json result files against committed
+baselines (bench/baselines/<same filename>) and exits non-zero when any
+benchmark regressed beyond the noise tolerance:
+
+    tools/bench_gate.py build/BENCH_io.json build/BENCH_parallel.json
+    tools/bench_gate.py --tolerance 1.2 --soft build/BENCH_io.json
+    tools/bench_gate.py --update build/BENCH_io.json   # refresh baselines
+
+Comparison rules, per benchmark name (run_type == "iteration" only —
+aggregates like mean/median are skipped):
+
+  * if both sides report bytes_per_second, regression means
+        current < baseline / (1 + tolerance);
+  * otherwise real_time is normalized to nanoseconds via time_unit and
+        current > baseline * (1 + tolerance)  is a regression.
+
+Both forms fail exactly when the slowdown factor exceeds 1 + tolerance, so
+a benchmark reads the same whichever metric it happens to report.
+
+The default tolerance (0.5 = 50%) is deliberately loose: these are
+functional perf gates meant to catch 2x-style slowdowns from accidental
+algorithmic changes, not 5% noise. CI machines are noisy; tune with
+--tolerance.
+
+--soft downgrades *missing* baselines (file or individual benchmark) to
+warnings so the gate can ride in CI before baselines are committed, and on
+runners whose benchmark set differs. Real regressions still fail.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_iterations(path):
+    """name -> benchmark record, iteration runs only."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def time_ns(bench):
+    unit = TIME_UNITS_NS.get(bench.get("time_unit", "ns"), 1.0)
+    return float(bench["real_time"]) * unit
+
+
+def compare_one(name, base, cur, tolerance):
+    """Returns (status, detail) where status is 'ok' or 'regression'."""
+    if "bytes_per_second" in base and "bytes_per_second" in cur:
+        b = float(base["bytes_per_second"])
+        c = float(cur["bytes_per_second"])
+        floor = b / (1.0 + tolerance)
+        detail = "throughput {:.1f} -> {:.1f} MB/s (floor {:.1f})".format(
+            b / 1e6, c / 1e6, floor / 1e6
+        )
+        return ("regression" if c < floor else "ok", detail)
+    b = time_ns(base)
+    c = time_ns(cur)
+    ceil = b * (1.0 + tolerance)
+    detail = "time {:.3f} -> {:.3f} ms (ceiling {:.3f})".format(
+        b / 1e6, c / 1e6, ceil / 1e6
+    )
+    return ("regression" if c > ceil else "ok", detail)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", help="benchmark JSON files")
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench",
+                             "baselines"),
+        help="directory of committed baseline JSON files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="fractional slack before a delta counts as a regression "
+             "(0.5 = 50%%)",
+    )
+    parser.add_argument(
+        "--soft", action="store_true",
+        help="missing baselines warn instead of failing",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy the result files into the baseline dir and exit",
+    )
+    args = parser.parse_args()
+    baseline_dir = os.path.abspath(args.baseline_dir)
+
+    if args.update:
+        os.makedirs(baseline_dir, exist_ok=True)
+        for path in args.results:
+            dst = os.path.join(baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print("baseline updated: {}".format(dst))
+        return 0
+
+    regressions = 0
+    missing = 0
+    compared = 0
+    for path in args.results:
+        base_path = os.path.join(baseline_dir, os.path.basename(path))
+        if not os.path.exists(base_path):
+            print("MISSING baseline {} (for {})".format(base_path, path))
+            missing += 1
+            continue
+        base = load_iterations(base_path)
+        cur = load_iterations(path)
+        for name in sorted(base):
+            if name not in cur:
+                print("MISSING {}: in baseline, absent from {}".format(
+                    name, path))
+                missing += 1
+                continue
+            status, detail = compare_one(name, base[name], cur[name],
+                                         args.tolerance)
+            compared += 1
+            tag = "REGRESSION" if status == "regression" else "ok"
+            print("{:10s} {}: {}".format(tag, name, detail))
+            if status == "regression":
+                regressions += 1
+
+    print(
+        "bench_gate: {} compared, {} regression(s), {} missing, "
+        "tolerance {:.0%}".format(compared, regressions, missing,
+                                  args.tolerance)
+    )
+    if regressions:
+        return 1
+    if missing and not args.soft:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
