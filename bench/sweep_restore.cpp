@@ -1,0 +1,237 @@
+// sweep_restore — restore-tuning parameter sweep (DESIGN.md §13.4).
+//
+// Builds a synthetic file-backed repository, then restores it under every
+// combination of the knobs the RestoreTuner moves online:
+//
+//   block_cache_mb × fd_cache_slots × prefetch depth × prefetch in-flight
+//
+// and emits one JSON document ({"context": ..., "sweep": [...]}) with each
+// combination's wall time, container reads, physical read bytes, and cache
+// hit rates — the offline map the online advisor's thresholds were read
+// from. CI uploads the output as the "sweep_restore" artifact.
+//
+// Usage:
+//   sweep_restore [--quick] [--io-backend=sync|threads|uring|auto]
+//                 [--out=<file>]
+//
+// --quick shrinks the dataset and the grid for smoke runs. Numbers are
+// relative (the scratch repo lives in the page cache), which is exactly
+// what the tuner consumes: ratios between combinations, not absolute
+// device throughput.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/tttd.h"
+#include "common/rng.h"
+#include "core/hidestore.h"
+#include "storage/async_io.h"
+
+namespace fs = std::filesystem;
+using namespace hds;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t block_cache_mb;
+  std::size_t fd_slots;
+  std::size_t prefetch_depth;
+  std::size_t in_flight;
+
+  double elapsed_ms = 0.0;
+  std::uint64_t restored_bytes = 0;
+  std::uint64_t container_reads = 0;
+  std::uint64_t bytes_read_physical = 0;
+  double block_cache_hit_rate = 0.0;
+  double speed_factor = 0.0;
+};
+
+std::vector<std::uint8_t> random_bytes(Xoshiro256ss& rng, std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+  return bytes;
+}
+
+// Mutate ~2% of the buffer in 4 KiB runs: realistic incremental churn, so
+// old versions chase chunks across many archival containers.
+void mutate(Xoshiro256ss& rng, std::vector<std::uint8_t>& bytes) {
+  const std::size_t runs = bytes.size() / (50 * 4096) + 1;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const std::size_t at = rng.next_below(bytes.size() - 4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      bytes[at + i] = static_cast<std::uint8_t>(rng.next());
+    }
+  }
+}
+
+std::string json_escape_free(const SweepPoint& p) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"block_cache_mb\": %zu, \"fd_cache_slots\": %zu, "
+      "\"prefetch_depth\": %zu, \"in_flight\": %zu, "
+      "\"elapsed_ms\": %.3f, \"restored_bytes\": %llu, "
+      "\"container_reads\": %llu, \"bytes_read_physical\": %llu, "
+      "\"block_cache_hit_rate\": %.4f, \"speed_factor\": %.4f}",
+      p.block_cache_mb, p.fd_slots, p.prefetch_depth, p.in_flight,
+      p.elapsed_ms, static_cast<unsigned long long>(p.restored_bytes),
+      static_cast<unsigned long long>(p.container_reads),
+      static_cast<unsigned long long>(p.bytes_read_physical),
+      p.block_cache_hit_rate, p.speed_factor);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  aio::Backend backend = aio::Backend::kAuto;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--io-backend=", 0) == 0) {
+      const auto parsed = aio::parse_backend(arg.substr(13));
+      if (!parsed) {
+        std::fprintf(stderr, "bad --io-backend\n");
+        return 2;
+      }
+      backend = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sweep_restore [--quick] [--out=<file>] "
+                   "[--io-backend=sync|threads|uring|auto]\n");
+      return 2;
+    }
+  }
+
+  const auto dir =
+      fs::temp_directory_path() /
+      ("hds_sweep_" + std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Synthetic history: `versions` backups of `mb` MiB with ~2% churn, so
+  // the oldest version's chunks are scattered across archival containers —
+  // the restore shape the middleware exists for.
+  const std::size_t mb = quick ? 8 : 32;
+  const std::size_t versions = quick ? 3 : 5;
+  HiDeStoreConfig config;
+  config.storage_dir = dir;
+  config.io_tuning.io_backend = backend;
+  HiDeStore sys(config);
+  {
+    Xoshiro256ss rng(42);
+    auto data = random_bytes(rng, mb << 20);
+    TttdChunker chunker;
+    for (std::size_t v = 0; v < versions; ++v) {
+      if (v > 0) mutate(rng, data);
+      (void)sys.backup(chunk_bytes(chunker, data));
+    }
+  }
+
+  const std::vector<std::size_t> cache_mbs =
+      quick ? std::vector<std::size_t>{0, 16}
+            : std::vector<std::size_t>{0, 8, 32};
+  const std::vector<std::size_t> fd_slots =
+      quick ? std::vector<std::size_t>{64} : std::vector<std::size_t>{4, 64};
+  const std::vector<std::size_t> depths =
+      quick ? std::vector<std::size_t>{0, 8}
+            : std::vector<std::size_t>{0, 8, 32};
+  const std::vector<std::size_t> in_flights =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+
+  std::vector<SweepPoint> points;
+  std::string resolved_backend = "unknown";
+  for (const auto cache_mb : cache_mbs) {
+    for (const auto slots : fd_slots) {
+      for (const auto depth : depths) {
+        for (const auto in_flight : in_flights) {
+          // in_flight only means anything with a prefetch window; skip the
+          // redundant duplicates of the depth==0 row.
+          if (depth == 0 && in_flight != in_flights.front()) continue;
+          SweepPoint p{cache_mb, slots, depth, in_flight};
+          FileStoreTuning tuning;
+          tuning.block_cache_bytes = cache_mb << 20;
+          tuning.fd_cache_slots = slots;
+          tuning.io_backend = backend;
+          sys.set_io_tuning(tuning);
+          sys.set_read_ahead(depth, in_flight);
+          auto* file =
+              dynamic_cast<FileContainerStore*>(&sys.archival_store());
+          const auto io0 = file->io_stats();
+          const auto phys0 = sys.archival_store().stats().bytes_read_physical
+                                 .load(std::memory_order_relaxed);
+          // Restore the OLDEST version: its recipe chases chunks moved into
+          // archival containers by every later backup.
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto report = sys.restore(
+              1, [&](const ChunkLoc&, std::span<const std::uint8_t> bytes) {
+                p.restored_bytes += bytes.size();
+              });
+          const auto t1 = std::chrono::steady_clock::now();
+          p.elapsed_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          p.container_reads = report.stats.container_reads;
+          p.speed_factor = report.stats.speed_factor();
+          p.bytes_read_physical =
+              sys.archival_store().stats().bytes_read_physical.load(
+                  std::memory_order_relaxed) -
+              phys0;
+          const auto io1 = file->io_stats();
+          const auto hits = io1.block_cache_hits - io0.block_cache_hits;
+          const auto misses =
+              io1.block_cache_misses - io0.block_cache_misses;
+          p.block_cache_hit_rate =
+              hits + misses == 0
+                  ? 0.0
+                  : static_cast<double>(hits) /
+                        static_cast<double>(hits + misses);
+          resolved_backend = std::string(file->io_backend_name());
+          points.push_back(p);
+          std::fprintf(stderr,
+                       "cache=%zuMiB fd=%zu depth=%zu inflight=%zu: "
+                       "%.1f ms, %llu reads, %.2f MiB physical\n",
+                       cache_mb, slots, depth, in_flight, p.elapsed_ms,
+                       static_cast<unsigned long long>(p.container_reads),
+                       static_cast<double>(p.bytes_read_physical) /
+                           (1 << 20));
+        }
+      }
+    }
+  }
+
+  std::string json = "{\n  \"context\": {\"io_backend\": \"" +
+                     resolved_backend +
+                     "\", \"data_mb\": " + std::to_string(mb) +
+                     ", \"versions\": " + std::to_string(versions) +
+                     ", \"quick\": " + (quick ? "true" : "false") +
+                     "},\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json += json_escape_free(points[i]);
+    json += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  fs::remove_all(dir);
+  return 0;
+}

@@ -32,19 +32,36 @@ class HiDeStoreFetcher final : public ContainerFetcher {
       : archival_(archival), pool_(pool), needed_(needed) {}
 
   std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override {
-    if (loc.active) return pool_.fetch(loc.cid);
+    if (loc.active) {
+      auto container = pool_.fetch(loc.cid);
+      if (container) {
+        pool_fetches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return container;
+    }
     if (needed_ != nullptr) {
       if (const auto it = needed_->find(loc.cid); it != needed_->end()) {
-        return archival_.read_chunks(loc.cid, it->second);
+        return archival_.read_chunks(loc.cid, it->second, &meter_);
       }
     }
-    return archival_.read(loc.cid);
+    return archival_.read(loc.cid, &meter_);
+  }
+
+  // Exact per-stream accounting: every archival read this fetcher issued
+  // (consumer thread + prefetch workers), immune to other restore streams
+  // sharing the store — global-counter deltas are not (they attribute a
+  // concurrent stream's reads to whichever stream samples last).
+  [[nodiscard]] const ReadMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] std::uint64_t pool_fetches() const noexcept {
+    return pool_fetches_.load(std::memory_order_relaxed);
   }
 
  private:
   ContainerStore& archival_;
   ActiveContainerPool& pool_;
   const ContainerChunkIndex* needed_;
+  ReadMeter meter_;
+  std::atomic<std::uint64_t> pool_fetches_{0};
 };
 }  // namespace
 
@@ -96,7 +113,12 @@ void HiDeStore::register_metrics() {
         // repositories.
         "io_fd_cache_hits", "io_fd_cache_opens", "io_block_cache_hits",
         "io_block_cache_misses", "io_block_cache_evictions",
-        "io_partial_reads", "io_read_errors"}) {
+        "io_partial_reads", "io_read_errors",
+        // Async read backend (DESIGN.md §13) — batches submitted to the
+        // io_uring/threads backend, enter/submit syscalls, and retries the
+        // backend absorbed (short reads, EINTR).
+        "io_async_batches", "io_async_reads", "io_async_submits",
+        "io_async_short_retries", "io_async_eintr_retries"}) {
     (void)metrics_.counter(name);
   }
   for (const char* name : {"backup_ms", "recipe_update_ms",
@@ -140,9 +162,21 @@ void HiDeStore::refresh_gauges() {
     mirror("io_block_cache_evictions", io.block_cache_evictions);
     mirror("io_partial_reads", io.partial_reads);
     mirror("io_read_errors", io.read_errors);
+    mirror("io_async_batches", io.io_batches);
+    mirror("io_async_reads", io.io_reads);
+    mirror("io_async_submits", io.io_submits);
+    mirror("io_async_short_retries", io.io_short_retries);
+    mirror("io_async_eintr_retries", io.io_eintr_retries);
     metrics_.gauge("io_open_fds").set(static_cast<double>(io.open_fds));
     metrics_.gauge("io_block_cache_bytes")
         .set(static_cast<double>(io.block_cache_bytes));
+    metrics_.gauge("io_registered_files")
+        .set(static_cast<double>(io.io_registered_files));
+    // Backend identity: 0 = sync, 1 = threads, 2 = io_uring (aio::Backend
+    // enum order) — lets dashboards tell which read path produced the
+    // io_async_* numbers.
+    metrics_.gauge("io_backend")
+        .set(static_cast<double>(static_cast<int>(file->io_backend())));
   }
 }
 
@@ -484,16 +518,11 @@ RestoreReport HiDeStore::restore_range(VersionId version,
   HiDeStoreFetcher direct(*store_, pool_, &needed);
   ContainerFetcher* fetcher = &direct;
   const bool whole = offset == 0 && length == UINT64_MAX;
-  // Sample BEFORE the prefetch thread starts: it issues counted reads
-  // immediately.
-  const auto reads_before =
-      store_->stats().container_reads + pool_.stats().container_reads;
-  const auto phys_before = store_->stats().bytes_read_physical.load(
-      std::memory_order_relaxed);
   std::unique_ptr<ReadAheadFetcher> read_ahead;
   if (read_ahead_depth_ > 0 && whole) {
     ReadAheadConfig ra_config;
     ra_config.depth = read_ahead_depth_;
+    ra_config.in_flight = read_ahead_in_flight_;
     ra_config.metrics = &metrics_;
     ra_config.tracer = tracer_;
     // Flow ids are base + loc.key() (key's top bit is the 33-bit
@@ -520,18 +549,21 @@ RestoreReport HiDeStore::restore_range(VersionId version,
     wasted = read_ahead->wasted_reads();
     metrics_.counter("restore_prefetch_wasted").inc(wasted);
   }
-  const auto reads_after =
-      store_->stats().container_reads + pool_.stats().container_reads;
-  // Policies count fetch() calls themselves; cross-check with the stores.
-  // Wasted prefetches (containers read ahead that the policy's own cache
-  // made unnecessary) are excluded so the reported count equals the serial
-  // run's — they are tracked by restore_prefetch_wasted instead.
-  report.stats.container_reads = reads_after - reads_before - wasted;
+  // Policies count fetch() calls themselves; cross-check with THIS stream's
+  // fetcher meter — not global store-counter deltas, which would attribute
+  // a concurrent restore's reads (and physical bytes) to whoever samples
+  // last. Wasted prefetches (containers read ahead that the policy's own
+  // cache made unnecessary) are excluded so the reported count equals the
+  // serial run's — they are tracked by restore_prefetch_wasted instead.
+  const auto stream_reads =
+      direct.meter().container_reads.load(std::memory_order_relaxed) +
+      direct.pool_fetches();
+  report.stats.container_reads = stream_reads - wasted;
   report.elapsed_ms = timer.elapsed_ms();
-  const auto phys_after = store_->stats().bytes_read_physical.load(
-      std::memory_order_relaxed);
   prof->set_chunks(report.stats.restored_chunks);
-  prof->add_bytes(report.stats.restored_bytes, phys_after - phys_before);
+  prof->add_bytes(
+      report.stats.restored_bytes,
+      direct.meter().bytes_read_physical.load(std::memory_order_relaxed));
   prof->set_container_reads(report.stats.container_reads);
   // Restore cache economics: policy cache hits / fetches that reached a
   // store / prefetches the policy's cache made unnecessary.

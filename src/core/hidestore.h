@@ -104,18 +104,23 @@ class HiDeStore final : public BackupSystem {
   // Runs Algorithm 1 offline; returns entries rewritten.
   std::size_t flatten_recipes();
 
-  // Enables restore read-ahead (read_ahead.h): a prefetch thread issues
-  // archival-container reads ahead of the restore policy into a bounded
-  // buffer of `depth` containers. Active-pool containers are never
-  // prefetched (the pool is consumer-thread-only). 0 disables. Reported
-  // container-read counts exclude wasted prefetches, so Fig 11 numbers are
-  // unchanged; waste is exported as restore_prefetch_wasted. Not persisted
-  // by save() — a runtime tuning knob, not repository state.
-  void set_read_ahead(std::size_t depth) noexcept {
+  // Enables restore read-ahead (read_ahead.h): `in_flight` prefetch workers
+  // issue archival-container reads ahead of the restore policy into a
+  // bounded buffer of `depth` containers, so up to min(in_flight, depth)
+  // container reads overlap with chunk assembly. Active-pool containers are
+  // never prefetched (the pool is consumer-thread-only). depth 0 disables.
+  // Reported container-read counts exclude wasted prefetches, so Fig 11
+  // numbers are unchanged; waste is exported as restore_prefetch_wasted.
+  // Not persisted by save() — a runtime tuning knob, not repository state.
+  void set_read_ahead(std::size_t depth, std::size_t in_flight = 1) noexcept {
     read_ahead_depth_ = depth;
+    read_ahead_in_flight_ = in_flight == 0 ? 1 : in_flight;
   }
   [[nodiscard]] std::size_t read_ahead() const noexcept {
     return read_ahead_depth_;
+  }
+  [[nodiscard]] std::size_t read_ahead_in_flight() const noexcept {
+    return read_ahead_in_flight_;
   }
 
   // Re-tunes the file-backed archival store's I/O fast path at runtime
@@ -262,6 +267,7 @@ class HiDeStore final : public BackupSystem {
   // MANIFEST journal epoch of the last committed save (0 = never saved).
   std::uint64_t epoch_ = 0;
   std::size_t read_ahead_depth_ = 0;
+  std::size_t read_ahead_in_flight_ = 1;
   // Process-wide chunk-CRC failure count at construction/load time; the
   // io_crc_failures counter mirrors growth past this baseline.
   std::uint64_t crc_failures_baseline_ = 0;

@@ -1,6 +1,7 @@
 #include "restore/read_ahead.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <string>
 
 namespace hds {
 
@@ -13,8 +14,24 @@ ReadAheadFetcher::ReadAheadFetcher(ContainerFetcher& base,
       metrics_(config.metrics),
       tracer_(config.tracer),
       flow_id_base_(config.flow_id_base),
-      profile_(config.profile),
-      thread_([this] { prefetch_loop(); }) {}
+      profile_(config.profile) {
+  const std::size_t workers = std::clamp<std::size_t>(
+      config.in_flight == 0 ? 1 : config.in_flight, 1, depth_);
+  workers_running_ = workers;
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // `workers` is captured by value: naming must not read threads_ while
+    // this loop is still appending to it.
+    threads_.emplace_back([this, w, workers] {
+      if (tracer_ != nullptr) {
+        tracer_->set_thread_name(
+            workers > 1 ? "restore_prefetch_" + std::to_string(w)
+                        : std::string("restore_prefetch"));
+      }
+      prefetch_loop();
+    });
+  }
+}
 
 ReadAheadFetcher::~ReadAheadFetcher() { stop(); }
 
@@ -24,22 +41,15 @@ void ReadAheadFetcher::stop() {
     stop_ = true;
     space_.notify_all();
   }
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ReadAheadFetcher::prefetch_loop() {
-  // Each distinct container is prefetched at most once per restore. The
-  // stream names a container once per chunk, so without this dedup every
-  // chunk after the consumer takes the entry would re-issue the same read
-  // as a wasted prefetch. If a policy's cache evicts a container and
-  // re-fetches it later, the consumer's miss path reads it directly —
-  // exactly the read the serial run would have done.
-  std::unordered_set<std::uint64_t> walked;
-  if (tracer_ != nullptr) tracer_->set_thread_name("restore_prefetch");
-  for (const ChunkLoc& loc : stream_) {
-    if (loc.active) continue;  // the active pool is consumer-thread-only
-    const std::uint64_t key = loc.key();
-    if (!walked.insert(key).second) continue;
+  while (true) {
+    ChunkLoc loc{};
+    std::uint64_t key = 0;
     {
       std::unique_lock lock(mu_);
       if (!stop_ && buffer_.size() >= depth_ && tracer_ != nullptr) {
@@ -50,9 +60,27 @@ void ReadAheadFetcher::prefetch_loop() {
         space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
       }
       if (stop_) break;
-      // Resident, in flight, or being read directly by the consumer right
-      // now: the container is already paid for, don't read it twice.
-      if (!buffer_.try_emplace(key).second) continue;
+      // Claim the next container this restore will need. Each distinct
+      // container is claimed at most once per restore (walked_): the
+      // stream names a container once per chunk, so without this dedup
+      // every chunk after the consumer takes the entry would re-issue the
+      // same read as a wasted prefetch. If a policy's cache evicts a
+      // container and re-fetches it later, the consumer's miss path reads
+      // it directly — exactly the read the serial run would have done.
+      bool claimed = false;
+      while (cursor_ < stream_.size()) {
+        const ChunkLoc& next = stream_[cursor_++];
+        if (next.active) continue;  // the active pool is consumer-only
+        key = next.key();
+        if (!walked_.insert(key).second) continue;
+        // Resident, in flight on another worker, or being read directly by
+        // the consumer right now: already paid for, don't read it twice.
+        if (!buffer_.try_emplace(key).second) continue;
+        loc = next;
+        claimed = true;
+        break;
+      }
+      if (!claimed) break;  // stream exhausted
       ++issued_;
       publish_depth();
     }
@@ -79,7 +107,10 @@ void ReadAheadFetcher::prefetch_loop() {
     }
   }
   std::lock_guard lock(mu_);
-  prefetch_done_ = true;
+  // Only the last worker out declares prefetching done: until then another
+  // worker may still be mid-read, and the consumer must keep waiting on
+  // in-flight entries rather than miss past them.
+  if (--workers_running_ == 0) prefetch_done_ = true;
   ready_.notify_all();
 }
 
@@ -91,7 +122,7 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
   auto it = buffer_.find(key);
   if (it != buffer_.end() && !it->second.consumer_owned) {
     if (!it->second.ready) {
-      // In flight on the prefetch thread; its read is the counted one.
+      // In flight on a prefetch worker; its read is the counted one.
       // Re-find inside the predicate: inserts may rehash the map while we
       // wait, invalidating `it`. The wait is the restorer's I/O-wait: the
       // span shows the consumer stalled on an in-flight prefetch read.
@@ -123,8 +154,15 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
     }
   }
   // Miss: read directly, marking the key so a racing prefetcher skips it.
+  // The walked_ entry is the durable half of the mark: without it, a
+  // worker whose cursor reaches this container only after the direct read
+  // finished (and the buffer_ marker below was erased) would claim it and
+  // issue a wasted prefetch the consumer has already moved past.
   const bool mark = it == buffer_.end() && !prefetch_done_ && !stop_;
-  if (mark) buffer_.try_emplace(key).first->second.consumer_owned = true;
+  if (mark) {
+    walked_.insert(key);
+    buffer_.try_emplace(key).first->second.consumer_owned = true;
+  }
   ++misses_;
   lock.unlock();
   if (metrics_ != nullptr) {

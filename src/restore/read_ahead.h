@@ -1,10 +1,12 @@
 // ReadAheadFetcher — overlaps container I/O with chunk assembly during
 // restore (the concurrency half of ALACC-style restore pipelining).
 //
-// A prefetch thread walks the resolved recipe stream ahead of the consumer
-// and issues ContainerStore reads through the wrapped fetcher into a small
-// bounded buffer (backpressure: the thread blocks when `depth` containers
-// are resident). The consumer's fetch() takes buffered containers without
+// One or more prefetch workers (`in_flight`) walk the resolved recipe
+// stream ahead of the consumer — sharing a cursor, so with N workers up to
+// N containers' reads are in flight simultaneously — and issue
+// ContainerStore reads through the wrapped fetcher into a small bounded
+// buffer (backpressure: workers block when `depth` containers are
+// resident). The consumer's fetch() takes buffered containers without
 // touching the store, so each physical read happens exactly once:
 //
 //   * a prefetched container consumed by the policy  → 1 store read (by the
@@ -34,6 +36,8 @@
 #include <span>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -44,8 +48,12 @@ namespace hds {
 
 struct ReadAheadConfig {
   // Containers resident in the prefetch buffer (including in-flight reads)
-  // before the prefetch thread blocks.
+  // before the prefetch workers block.
   std::size_t depth = 8;
+  // Prefetch worker threads — concurrent container reads in flight. More
+  // workers than `depth` cannot help (each in-flight read occupies a buffer
+  // slot), so the effective count is min(in_flight, depth). 0 means 1.
+  std::size_t in_flight = 1;
   // Optional restore_prefetch_* counters and buffer-depth gauge.
   obs::MetricsRegistry* metrics = nullptr;
   // Optional cross-thread tracing: the prefetch thread wraps each store
@@ -76,7 +84,7 @@ class ReadAheadFetcher final : public ContainerFetcher {
 
   std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override;
 
-  // Stops and joins the prefetch thread (idempotent; also run by the
+  // Stops and joins the prefetch workers (idempotent; also run by the
   // destructor). After stop(), wasted_reads() is final.
   void stop();
 
@@ -107,9 +115,14 @@ class ReadAheadFetcher final : public ContainerFetcher {
   obs::OpRecorder* profile_;
 
   mutable std::mutex mu_;
-  std::condition_variable space_;  // prefetcher waits for buffer room
+  std::condition_variable space_;  // workers wait for buffer room
   std::condition_variable ready_;  // consumer waits for in-flight reads
   std::unordered_map<std::uint64_t, Entry> buffer_;
+  // Shared walk state: workers claim successive stream positions under mu_;
+  // each distinct container is claimed (and read) by exactly one worker.
+  std::size_t cursor_ = 0;
+  std::unordered_set<std::uint64_t> walked_;
+  std::size_t workers_running_ = 0;
   bool stop_ = false;
   bool prefetch_done_ = false;
   std::uint64_t issued_ = 0;
@@ -117,7 +130,7 @@ class ReadAheadFetcher final : public ContainerFetcher {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 
-  std::thread thread_;  // last member: starts after all state is ready
+  std::vector<std::thread> threads_;  // last: start after all state is ready
 };
 
 }  // namespace hds

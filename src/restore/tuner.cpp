@@ -1,0 +1,201 @@
+#include "restore/tuner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hds {
+
+namespace {
+
+// "32MiB" / "512KiB" — budgets are always powers of two here.
+std::string fmt_bytes(std::size_t bytes) {
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    return std::to_string(bytes >> 20) + "MiB";
+  }
+  if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0) {
+    return std::to_string(bytes >> 10) + "KiB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string fmt_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", rate);
+  return buf;
+}
+
+// Safe hit-rate: no traffic means no evidence, reported as -1 so rules
+// requiring a signal skip rather than misread "no misses" as "perfect".
+double rate_of(std::uint64_t hits, std::uint64_t total) {
+  if (total == 0) return -1.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+RestoreTuner::RestoreTuner(const TunerState& initial,
+                           const TunerLimits& limits)
+    : state_(initial), limits_(limits) {
+  // Normalize the starting point into bounds so the first doubling/halving
+  // lands inside them too.
+  state_.tuning.block_cache_bytes =
+      std::clamp(state_.tuning.block_cache_bytes,
+                 limits_.min_block_cache_bytes, limits_.max_block_cache_bytes);
+  state_.tuning.fd_cache_slots =
+      std::clamp(state_.tuning.fd_cache_slots, limits_.min_fd_cache_slots,
+                 limits_.max_fd_cache_slots);
+  if (state_.prefetch_depth > 0) {
+    state_.prefetch_depth =
+        std::clamp(state_.prefetch_depth, limits_.min_prefetch_depth,
+                   limits_.max_prefetch_depth);
+  }
+  if (state_.prefetch_in_flight == 0) state_.prefetch_in_flight = 1;
+}
+
+void RestoreTuner::attach_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    (void)metrics_->counter("tuner_observations");
+    (void)metrics_->counter("tuner_adjustments");
+  }
+}
+
+TunerDecision RestoreTuner::observe(
+    const obs::OpProfile& op, const FileContainerStore::IoPathStats& io) {
+  ++observations_;
+
+  // Per-restore deltas of the store's cumulative counters. The first
+  // observation has no baseline: collect one, recommend nothing.
+  FileContainerStore::IoPathStats d{};
+  if (have_prev_) {
+    d.block_cache_hits = io.block_cache_hits - prev_io_.block_cache_hits;
+    d.block_cache_misses = io.block_cache_misses - prev_io_.block_cache_misses;
+    d.fd_cache_hits = io.fd_cache_hits - prev_io_.fd_cache_hits;
+    d.fd_cache_opens = io.fd_cache_opens - prev_io_.fd_cache_opens;
+  }
+  prev_io_ = io;
+  const bool warmed = have_prev_;
+  have_prev_ = true;
+
+  const double block_hit =
+      rate_of(d.block_cache_hits, d.block_cache_hits + d.block_cache_misses);
+  const double fd_miss =
+      rate_of(d.fd_cache_opens, d.fd_cache_opens + d.fd_cache_hits);
+  const double amplification =
+      op.bytes_logical == 0
+          ? 0.0
+          : static_cast<double>(op.bytes_physical) /
+                static_cast<double>(op.bytes_logical);
+
+  TunerDecision decision;
+  decision.state = state_;
+  if (!warmed) {
+    publish(block_hit, amplification);
+    return decision;
+  }
+
+  const auto note = [&](std::string text) {
+    if (!decision.reason.empty()) decision.reason += "; ";
+    decision.reason += std::move(text);
+    decision.changed = true;
+  };
+
+  // --- Cache budgets: coordinate descent, at most one knob per restore ---
+  auto& tuning = decision.state.tuning;
+  if (block_hit >= 0.0 && block_hit < 0.5 && amplification > 1.25 &&
+      tuning.block_cache_bytes < limits_.max_block_cache_bytes) {
+    // Thrashing AND the misses hit the device: more budget can pay off.
+    const std::size_t next = std::min(tuning.block_cache_bytes * 2,
+                                      limits_.max_block_cache_bytes);
+    note("block_cache " + fmt_bytes(tuning.block_cache_bytes) + "->" +
+         fmt_bytes(next) + " (hit " + fmt_rate(block_hit) + ", amp " +
+         fmt_rate(amplification) + ")");
+    tuning.block_cache_bytes = next;
+  } else if (block_hit > 0.95 &&
+             tuning.block_cache_bytes > limits_.min_block_cache_bytes &&
+             io.block_cache_bytes < tuning.block_cache_bytes / 4) {
+    // Near-perfect hits from a quarter of the budget: give memory back.
+    const std::size_t next = std::max(tuning.block_cache_bytes / 2,
+                                      limits_.min_block_cache_bytes);
+    note("block_cache " + fmt_bytes(tuning.block_cache_bytes) + "->" +
+         fmt_bytes(next) + " (hit " + fmt_rate(block_hit) + ", resident " +
+         fmt_bytes(io.block_cache_bytes) + ")");
+    tuning.block_cache_bytes = next;
+  } else if (fd_miss > 0.25 && d.fd_cache_opens + d.fd_cache_hits >= 16 &&
+             tuning.fd_cache_slots < limits_.max_fd_cache_slots) {
+    // Container descriptors churn: each re-open is a syscall plus a lost
+    // uring fixed-file slot.
+    const std::size_t next =
+        std::min(tuning.fd_cache_slots * 2, limits_.max_fd_cache_slots);
+    note("fd_cache " + std::to_string(tuning.fd_cache_slots) + "->" +
+         std::to_string(next) + " (miss " + fmt_rate(fd_miss) + ")");
+    tuning.fd_cache_slots = next;
+  }
+
+  // --- Prefetch window: independent subsystem, may move the same round ---
+  if (decision.state.prefetch_depth > 0) {
+    const std::uint64_t prefetch_total = op.container_reads + op.cache_wasted;
+    const double waste = rate_of(op.cache_wasted, prefetch_total);
+    const double depth_now =
+        static_cast<double>(decision.state.prefetch_depth);
+    if (waste > 0.5 &&
+        decision.state.prefetch_depth > limits_.min_prefetch_depth) {
+      // Reading ahead of containers the policy never needs: narrow it.
+      const std::size_t next = std::max(decision.state.prefetch_depth / 2,
+                                        limits_.min_prefetch_depth);
+      note("prefetch " + std::to_string(decision.state.prefetch_depth) +
+           "->" + std::to_string(next) + " (waste " + fmt_rate(waste) + ")");
+      decision.state.prefetch_depth = next;
+    } else if (op.queue_depth_peak >= 0.9 * depth_now && waste >= 0.0 &&
+               waste < 0.1 &&
+               decision.state.prefetch_depth < limits_.max_prefetch_depth) {
+      // Buffer pegged at capacity and nearly nothing wasted: the consumer
+      // wants more lookahead than we are allowed to hold.
+      const std::size_t next = std::min(decision.state.prefetch_depth * 2,
+                                        limits_.max_prefetch_depth);
+      note("prefetch " + std::to_string(decision.state.prefetch_depth) +
+           "->" + std::to_string(next) + " (peak " +
+           fmt_rate(op.queue_depth_peak) + "/" +
+           std::to_string(decision.state.prefetch_depth) + ")");
+      decision.state.prefetch_depth = next;
+    }
+    // Overlap follows the window: one in-flight read per ~4 buffered
+    // containers keeps workers busy without starving the buffer of slots.
+    decision.state.prefetch_in_flight =
+        std::clamp<std::size_t>(decision.state.prefetch_depth / 4, 1,
+                                limits_.max_prefetch_in_flight);
+    // One submission window should cover every overlapping prefetch read's
+    // extent list; 8 extents per container read is the observed shape of
+    // footer-index runs.
+    decision.state.tuning.io_depth =
+        std::max<std::size_t>(decision.state.prefetch_in_flight * 8, 32);
+  }
+
+  if (decision.changed) {
+    ++adjustments_;
+    state_ = decision.state;
+  }
+  publish(block_hit, amplification);
+  return decision;
+}
+
+void RestoreTuner::publish(double block_hit_rate, double amplification) {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("tuner_observations").inc();
+  auto& adj = metrics_->counter("tuner_adjustments");
+  if (adjustments_ > adj.value()) adj.inc(adjustments_ - adj.value());
+  metrics_->gauge("tuner_block_cache_bytes")
+      .set(static_cast<double>(state_.tuning.block_cache_bytes));
+  metrics_->gauge("tuner_fd_cache_slots")
+      .set(static_cast<double>(state_.tuning.fd_cache_slots));
+  metrics_->gauge("tuner_prefetch_depth")
+      .set(static_cast<double>(state_.prefetch_depth));
+  metrics_->gauge("tuner_prefetch_in_flight")
+      .set(static_cast<double>(state_.prefetch_in_flight));
+  if (block_hit_rate >= 0.0) {
+    metrics_->gauge("tuner_block_hit_rate").set(block_hit_rate);
+  }
+  metrics_->gauge("tuner_read_amplification").set(amplification);
+}
+
+}  // namespace hds

@@ -1,0 +1,113 @@
+// RestoreTuner — closes the loop between restore observability and the I/O
+// fast-path knobs (DESIGN.md §13.4).
+//
+// Every completed restore leaves two evidence trails: its OpProfile
+// (logical vs physical bytes, cache economics, prefetch queue-depth peaks)
+// and the FileContainerStore's IoPathStats (block/fd cache hit counters,
+// bytes actually read). The tuner consumes one (profile, io-stats) pair per
+// restore and recommends the next restore's budgets:
+//
+//   * block_cache_bytes   — grown while the block cache thrashes (low hit
+//                           rate AND real read amplification), shrunk when
+//                           it is cold and oversized;
+//   * fd_cache_slots      — grown while container opens churn;
+//   * prefetch depth      — grown while the read-ahead buffer saturates
+//                           without waste, shrunk when prefetches are
+//                           mostly wasted;
+//   * prefetch in-flight  — follows depth (one reader per ~4 buffered
+//                           containers, capped), so deeper windows also get
+//                           more overlapping reads;
+//   * io_depth            — sized so one uring submission window covers the
+//                           in-flight prefetch reads.
+//
+// The loop is deliberately conservative: at most one cache knob moves per
+// observation (coordinate descent — moving several at once makes the next
+// observation unattributable), every move is a doubling/halving bounded by
+// TunerLimits, and a knob reverses direction only on fresh evidence. The
+// tuner itself is pure bookkeeping: callers apply `TunerDecision.state`
+// via HiDeStore::set_io_tuning()/set_read_ahead() (hds_tool --auto-tune
+// does exactly that between versions of `restore all`).
+//
+// Thread-safety: none — one tuner per control loop, observed serially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "storage/container_store.h"
+
+namespace hds {
+
+// Hard bounds on every knob the tuner may move. Defaults keep the block
+// cache between 4 MiB and 256 MiB — a middleware-sized budget, not a page
+// cache replacement.
+struct TunerLimits {
+  std::size_t min_block_cache_bytes = 4ull << 20;
+  std::size_t max_block_cache_bytes = 256ull << 20;
+  std::size_t min_fd_cache_slots = 16;
+  std::size_t max_fd_cache_slots = 512;
+  std::size_t min_prefetch_depth = 2;
+  std::size_t max_prefetch_depth = 64;
+  std::size_t max_prefetch_in_flight = 8;
+};
+
+// The complete knob set a decision covers. `tuning` feeds
+// HiDeStore::set_io_tuning(); the prefetch pair feeds set_read_ahead().
+// prefetch_depth == 0 means read-ahead stays off (the tuner never turns it
+// on by itself — overlap is the caller's policy choice).
+struct TunerState {
+  FileStoreTuning tuning;
+  std::size_t prefetch_depth = 0;
+  std::size_t prefetch_in_flight = 1;
+};
+
+struct TunerDecision {
+  TunerState state;
+  bool changed = false;
+  // Human-readable trail of what moved and why, e.g.
+  // "block_cache 32MiB->64MiB (hit 0.31, amp 2.4)". Empty when unchanged.
+  std::string reason;
+};
+
+class RestoreTuner {
+ public:
+  explicit RestoreTuner(const TunerState& initial,
+                        const TunerLimits& limits = {});
+
+  // Optional tuner_* counters and gauges (see DESIGN.md §13.4). Must
+  // outlive the tuner.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
+  // Feed one completed restore. `op` is that restore's OpProfile;
+  // `io` is the owning FileContainerStore's io_stats() snapshot taken
+  // after the restore (the tuner diffs it against the previous
+  // observation's snapshot internally, so pass cumulative values).
+  TunerDecision observe(const obs::OpProfile& op,
+                        const FileContainerStore::IoPathStats& io);
+
+  [[nodiscard]] const TunerState& state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] std::uint64_t adjustments() const noexcept {
+    return adjustments_;
+  }
+
+ private:
+  void publish(double block_hit_rate, double amplification);
+
+  TunerState state_;
+  TunerLimits limits_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Previous cumulative io_stats snapshot; deltas describe the last
+  // restore only, so one tuner must observe every restore on the store
+  // (hds_tool owns the store for the whole invocation, so it does).
+  FileContainerStore::IoPathStats prev_io_{};
+  bool have_prev_ = false;
+  std::uint64_t observations_ = 0;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace hds

@@ -1,0 +1,687 @@
+#include "storage/async_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/log.h"
+#include "parallel/thread_pool.h"
+#include "storage/durable.h"
+
+// io_uring is Linux-only and optional: HDS_WITH_URING is set by CMake when
+// <linux/io_uring.h> is available (no liburing dependency — the backend
+// speaks the raw syscall ABI). Builds without it keep the full interface;
+// uring_supported() just answers false and kUring degrades to threads.
+#if defined(HDS_WITH_URING) && HDS_WITH_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <atomic>
+#endif
+
+namespace hds::aio {
+
+namespace {
+
+// --- Fault injection (process-global, tests only) ---
+
+struct FaultState {
+  std::mutex mu;
+  FaultPlan plan;
+  std::uint64_t short_count = 0;
+  std::uint64_t eintr_count = 0;
+  std::atomic<bool> armed{false};  // fast path: one relaxed load when off
+};
+
+FaultState& fault_state() {
+  static FaultState state;
+  return state;
+}
+
+// Which fault (if any) the next attempt of an op should suffer. Checked at
+// most once per op (first attempt), so every injected fault exercises one
+// resubmission.
+enum class Fault { kNone, kShort, kEintr };
+
+Fault take_fault() {
+  FaultState& state = fault_state();
+  if (!state.armed.load(std::memory_order_relaxed)) return Fault::kNone;
+  std::lock_guard lock(state.mu);
+  if (state.plan.short_read_every_n != 0 &&
+      ++state.short_count % state.plan.short_read_every_n == 0) {
+    return Fault::kShort;
+  }
+  if (state.plan.eintr_every_n != 0 &&
+      ++state.eintr_count % state.plan.eintr_every_n == 0) {
+    return Fault::kEintr;
+  }
+  return Fault::kNone;
+}
+
+// --- Shared counter block (outlives per-thread rings; see UringBackend) ---
+
+struct Counters {
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> short_retries{0};
+  std::atomic<std::uint64_t> eintr_retries{0};
+  std::atomic<std::uint64_t> registered{0};
+
+  [[nodiscard]] BackendStats snapshot() const {
+    BackendStats out;
+    out.batches = batches.load(std::memory_order_relaxed);
+    out.reads = reads.load(std::memory_order_relaxed);
+    out.submits = submits.load(std::memory_order_relaxed);
+    out.short_retries = short_retries.load(std::memory_order_relaxed);
+    out.eintr_retries = eintr_retries.load(std::memory_order_relaxed);
+    out.registered_files = registered.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+// The crash point every backend passes per batch. A kFail-armed
+// CrashInjector throws WriteError here — modeled as the whole batch failing
+// with EIO, the same verdict a dying device would render. Returns false
+// when the batch must not run.
+bool pass_crash_point(std::span<ReadOp> ops) {
+  try {
+    durable::CrashInjector::crash_point("async_io_read");
+    return true;
+  } catch (const durable::WriteError&) {
+    for (ReadOp& op : ops) {
+      op.error = EIO;
+      op.filled = 0;
+    }
+    return false;
+  }
+}
+
+// One blocking pread-until-done for `op`, with EINTR retry, short-read
+// continuation and fault injection. The workhorse of the sync and threads
+// backends; also the per-op fallback when a uring ring cannot be created.
+void run_sync_op(ReadOp& op, Counters& counters) {
+  op.error = 0;
+  op.filled = 0;
+  Fault fault = take_fault();
+  while (op.filled < op.len) {
+    std::size_t want = op.len - op.filled;
+    if (fault == Fault::kEintr) {
+      fault = Fault::kNone;
+      counters.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;  // modeled EINTR: retry without having read anything
+    }
+    if (fault == Fault::kShort && want > 1) {
+      want /= 2;  // force a genuine short completion + resubmission
+    }
+    const ssize_t n =
+        ::pread(op.fd, op.dst + op.filled, want,
+                static_cast<off_t>(op.offset + op.filled));
+    counters.submits.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        counters.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      op.error = errno;
+      return;
+    }
+    if (n == 0) return;  // EOF inside the range: filled < len, error == 0
+    op.filled += static_cast<std::size_t>(n);
+    if (fault == Fault::kShort) {
+      fault = Fault::kNone;
+      counters.short_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- Sync backend: the pre-async baseline, sequential preads ---
+
+class SyncBackend final : public AsyncIoBackend {
+ public:
+  void read_batch(std::span<ReadOp> ops) override {
+    if (!pass_crash_point(ops)) return;
+    counters_.batches.fetch_add(1, std::memory_order_relaxed);
+    counters_.reads.fetch_add(ops.size(), std::memory_order_relaxed);
+    for (ReadOp& op : ops) run_sync_op(op, counters_);
+  }
+  [[nodiscard]] Backend kind() const noexcept override {
+    return Backend::kSync;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sync";
+  }
+  [[nodiscard]] BackendStats stats() const override {
+    return counters_.snapshot();
+  }
+
+ private:
+  Counters counters_;
+};
+
+// --- Threads backend: the batch fans out over a small pread worker pool ---
+
+class ThreadsBackend final : public AsyncIoBackend {
+ public:
+  explicit ThreadsBackend(std::size_t depth)
+      : pool_(std::clamp<std::size_t>(depth, 2, 16)) {}
+
+  void read_batch(std::span<ReadOp> ops) override {
+    if (!pass_crash_point(ops)) return;
+    counters_.batches.fetch_add(1, std::memory_order_relaxed);
+    counters_.reads.fetch_add(ops.size(), std::memory_order_relaxed);
+    if (ops.size() == 1) {  // no handoff for the trivial batch
+      run_sync_op(ops.front(), counters_);
+      return;
+    }
+    // Completion is counted per batch, not via wait_idle(): concurrent
+    // streams share the pool, and each must wake when *its* ops finish.
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining = ops.size();
+    for (ReadOp& op : ops) {
+      pool_.submit([this, &op, &mu, &done, &remaining] {
+        run_sync_op(op, counters_);
+        std::lock_guard lock(mu);
+        if (--remaining == 0) done.notify_one();
+      });
+    }
+    std::unique_lock lock(mu);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+  [[nodiscard]] Backend kind() const noexcept override {
+    return Backend::kThreads;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "threads";
+  }
+  [[nodiscard]] BackendStats stats() const override {
+    return counters_.snapshot();
+  }
+
+ private:
+  parallel::ThreadPool pool_;
+  Counters counters_;
+};
+
+#if defined(HDS_WITH_URING) && HDS_WITH_URING
+
+// --- io_uring backend (raw syscalls; no liburing) ---
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+// One io_uring instance, owned by exactly one thread (rings live in
+// thread-local storage — submission and completion need no locks). Fixed
+// files: a sparse table of kFixedSlots descriptors registered at setup;
+// reg_keys map onto slots round-robin, so the FdCache's long-lived
+// descriptors skip the per-op fget/fput. Registration is best-effort — any
+// failure just falls back to plain fds.
+struct Ring {
+  static constexpr unsigned kFixedSlots = 64;
+
+  int fd = -1;
+  unsigned sq_entries = 0;
+  std::uint8_t* sq_ptr = nullptr;
+  std::size_t sq_size = 0;
+  std::uint8_t* cq_ptr = nullptr;
+  std::size_t cq_size = 0;  // 0 when IORING_FEAT_SINGLE_MMAP shares sq_ptr
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_size = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  bool fixed_files = false;
+  struct Slot {
+    std::uint64_t key = 0;
+    int fd = -1;
+  };
+  std::vector<Slot> slots;
+  std::unordered_map<std::uint64_t, unsigned> slot_of;
+  unsigned next_slot = 0;
+  std::uint64_t seen_epoch = 0;
+
+  Ring() = default;
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_size);
+    if (cq_ptr != nullptr && cq_size != 0) ::munmap(cq_ptr, cq_size);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_size);
+    if (fd >= 0) ::close(fd);
+  }
+
+  [[nodiscard]] bool init(unsigned entries) {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    fd = sys_io_uring_setup(entries, &params);
+    if (fd < 0) return false;
+    sq_entries = params.sq_entries;
+
+    std::size_t sq_bytes =
+        params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    std::size_t cq_bytes =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+    sq_size = sq_bytes;
+    sq_ptr = static_cast<std::uint8_t*>(
+        ::mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING));
+    if (sq_ptr == MAP_FAILED) {
+      sq_ptr = nullptr;
+      return false;
+    }
+    if (single_mmap) {
+      cq_ptr = sq_ptr;
+      cq_size = 0;  // shared mapping; do not munmap twice
+    } else {
+      cq_size = cq_bytes;
+      cq_ptr = static_cast<std::uint8_t*>(
+          ::mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING));
+      if (cq_ptr == MAP_FAILED) {
+        cq_ptr = nullptr;
+        return false;
+      }
+    }
+    sqes_size = params.sq_entries * sizeof(io_uring_sqe);
+    sqes = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_size, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+    if (sqes == MAP_FAILED) {
+      sqes = nullptr;
+      return false;
+    }
+
+    const auto at = [&](std::uint8_t* base, std::uint32_t off) {
+      return reinterpret_cast<unsigned*>(base + off);
+    };
+    sq_head = at(sq_ptr, params.sq_off.head);
+    sq_tail = at(sq_ptr, params.sq_off.tail);
+    sq_mask = *at(sq_ptr, params.sq_off.ring_mask);
+    sq_array = at(sq_ptr, params.sq_off.array);
+    cq_head = at(cq_ptr, params.cq_off.head);
+    cq_tail = at(cq_ptr, params.cq_off.tail);
+    cq_mask = *at(cq_ptr, params.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq_ptr + params.cq_off.cqes);
+
+    // Sparse fixed-file table (entries filled later via *_UPDATE). Older
+    // kernels reject sparse tables; fixed files are then simply off.
+    std::vector<int> sparse(kFixedSlots, -1);
+    if (sys_io_uring_register(fd, IORING_REGISTER_FILES, sparse.data(),
+                              kFixedSlots) == 0) {
+      fixed_files = true;
+      slots.resize(kFixedSlots);
+    }
+    return true;
+  }
+
+  // Returns the fixed slot for (key, fd), installing or refreshing the
+  // registration as needed; -1 = use the plain fd.
+  int fixed_slot(std::uint64_t key, int op_fd, Counters& counters) {
+    if (!fixed_files || key == 0) return -1;
+    const auto it = slot_of.find(key);
+    if (it != slot_of.end() && slots[it->second].fd == op_fd) {
+      return static_cast<int>(it->second);
+    }
+    const unsigned slot = next_slot++ % kFixedSlots;
+    io_uring_files_update update;
+    std::memset(&update, 0, sizeof(update));
+    update.offset = slot;
+    update.fds = reinterpret_cast<std::uint64_t>(&op_fd);
+    if (sys_io_uring_register(fd, IORING_REGISTER_FILES_UPDATE, &update,
+                              1) != 1) {
+      fixed_files = false;  // kernel said no; stop trying on this ring
+      return -1;
+    }
+    // Drop the evicted occupant's mapping and any stale mapping of `key`
+    // under another slot. Both by key, never via the iterator above: when
+    // the evicted occupant IS `key` (fd refresh landing on its own slot),
+    // the first erase already freed the node `it` points to.
+    if (slots[slot].key != 0) slot_of.erase(slots[slot].key);
+    slot_of.erase(key);
+    slots[slot] = {key, op_fd};
+    slot_of[key] = slot;
+    counters.registered.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(slot);
+  }
+
+  void drop_registrations() {
+    // The kernel-side slots stay populated but are never used again until
+    // re-installed: every lookup goes through slot_of, which is now empty.
+    slot_of.clear();
+    for (Slot& slot : slots) slot = {};
+  }
+};
+
+struct UringShared {
+  Counters counters;
+  std::atomic<std::uint64_t> reg_epoch{1};
+  unsigned depth = 32;
+};
+
+// Per-thread rings, keyed by the owning backend's shared block. Entries
+// whose backend died are swept on the next lookup (a ring is one fd plus
+// three mmaps — cheap, but not free across hundreds of stores).
+struct RingEntry {
+  std::weak_ptr<UringShared> owner;
+  std::unique_ptr<Ring> ring;
+};
+
+Ring* local_ring(const std::shared_ptr<UringShared>& shared) {
+  thread_local std::unordered_map<const UringShared*, RingEntry> rings;
+  for (auto it = rings.begin(); it != rings.end();) {
+    it = it->second.owner.expired() ? rings.erase(it) : std::next(it);
+  }
+  auto [it, fresh] = rings.try_emplace(shared.get());
+  if (fresh) {
+    it->second.owner = shared;
+    auto ring = std::make_unique<Ring>();
+    if (ring->init(shared->depth)) it->second.ring = std::move(ring);
+    // A failed init leaves ring == nullptr cached: the thread falls back
+    // to sync preads without re-probing every batch.
+  }
+  return it->second.ring.get();
+}
+
+class UringBackend final : public AsyncIoBackend {
+ public:
+  explicit UringBackend(std::size_t depth)
+      : shared_(std::make_shared<UringShared>()) {
+    shared_->depth = static_cast<unsigned>(depth);
+  }
+
+  void read_batch(std::span<ReadOp> ops) override {
+    if (!pass_crash_point(ops)) return;
+    Counters& counters = shared_->counters;
+    counters.batches.fetch_add(1, std::memory_order_relaxed);
+    counters.reads.fetch_add(ops.size(), std::memory_order_relaxed);
+    Ring* ring = local_ring(shared_);
+    if (ring == nullptr) {  // setup failed on this thread: degrade per-op
+      for (ReadOp& op : ops) run_sync_op(op, counters);
+      return;
+    }
+    const std::uint64_t epoch =
+        shared_->reg_epoch.load(std::memory_order_acquire);
+    if (ring->seen_epoch != epoch) {
+      ring->drop_registrations();
+      ring->seen_epoch = epoch;
+    }
+    run_on_ring(*ring, ops, counters);
+  }
+
+  void invalidate(std::uint64_t reg_key) override {
+    (void)reg_key;
+    // Conservative: bump the epoch so every ring drops all registrations
+    // before its next batch. Invalidation is rare (container rewrite or
+    // erase); re-registering a handful of hot descriptors is cheap next to
+    // reading stale file references through a reused slot.
+    shared_->reg_epoch.fetch_add(1, std::memory_order_release);
+  }
+
+  [[nodiscard]] Backend kind() const noexcept override {
+    return Backend::kUring;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "uring";
+  }
+  [[nodiscard]] BackendStats stats() const override {
+    return shared_->counters.snapshot();
+  }
+
+ private:
+  // Submits every op, reaping completions and resubmitting EINTR/short
+  // reads until the batch settles. user_data = index into `ops`.
+  static void run_on_ring(Ring& ring, std::span<ReadOp> ops,
+                          Counters& counters) {
+    std::vector<std::uint32_t> pending;  // indices not yet submitted
+    pending.reserve(ops.size());
+    for (std::uint32_t i = 0; i < ops.size(); ++i) {
+      ops[i].error = 0;
+      ops[i].filled = 0;
+      pending.push_back(i);
+    }
+    // First-attempt fault decisions, consumed at completion time.
+    std::vector<Fault> faults(ops.size(), Fault::kNone);
+    std::vector<bool> attempted(ops.size(), false);
+
+    std::size_t done = 0;
+    unsigned in_flight = 0;
+    while (done < ops.size()) {
+      // Fill the submission window.
+      unsigned queued = 0;
+      while (!pending.empty() && in_flight + queued < ring.sq_entries) {
+        const std::uint32_t index = pending.back();
+        pending.pop_back();
+        ReadOp& op = ops[index];
+        if (!attempted[index]) {
+          attempted[index] = true;
+          faults[index] = take_fault();
+        }
+        const unsigned tail =
+            std::atomic_ref<unsigned>(*ring.sq_tail)
+                .load(std::memory_order_relaxed);
+        const unsigned slot = (tail + queued) & ring.sq_mask;
+        io_uring_sqe& sqe = ring.sqes[slot];
+        std::memset(&sqe, 0, sizeof(sqe));
+        sqe.opcode = IORING_OP_READ;
+        const int fixed =
+            ring.fixed_slot(op.reg_key, op.fd, counters);
+        if (fixed >= 0) {
+          sqe.fd = fixed;
+          sqe.flags = IOSQE_FIXED_FILE;
+        } else {
+          sqe.fd = op.fd;
+        }
+        sqe.addr = reinterpret_cast<std::uint64_t>(op.dst + op.filled);
+        sqe.len = static_cast<std::uint32_t>(op.len - op.filled);
+        sqe.off = op.offset + op.filled;
+        sqe.user_data = index;
+        ring.sq_array[slot] = slot;
+        ++queued;
+      }
+      if (queued > 0) {
+        std::atomic_ref<unsigned>(*ring.sq_tail)
+            .fetch_add(queued, std::memory_order_release);
+      }
+
+      // Submit what we queued and wait for at least one completion.
+      const unsigned wait_for = in_flight + queued > 0 ? 1 : 0;
+      // EINTR retries pass the same to_submit: the kernel consumes SQEs up
+      // to the published tail at most once, so a re-entered call submits
+      // whatever the interrupted one did not and then just waits.
+      int submitted;
+      do {
+        submitted = sys_io_uring_enter(ring.fd, queued, wait_for,
+                                       IORING_ENTER_GETEVENTS);
+        counters.submits.fetch_add(1, std::memory_order_relaxed);
+      } while (submitted < 0 && errno == EINTR);
+      if (submitted < 0) {
+        // Ring-level failure. Unreachable with our submission discipline
+        // (in-flight is bounded by sq_entries, so the CQ cannot overflow),
+        // but if it ever fires we must not return while kernel-owned ops
+        // could still write our buffers: drain what was already submitted,
+        // then fail everything that never completed.
+        while (in_flight > 0 &&
+               sys_io_uring_enter(ring.fd, 0, 1, IORING_ENTER_GETEVENTS) >=
+                   0) {
+          std::atomic_ref<unsigned> drain_head(*ring.cq_head);
+          const unsigned drain_tail =
+              std::atomic_ref<unsigned>(*ring.cq_tail)
+                  .load(std::memory_order_acquire);
+          unsigned head = drain_head.load(std::memory_order_relaxed);
+          while (head != drain_tail && in_flight > 0) {
+            ++head;
+            --in_flight;
+          }
+          drain_head.store(head, std::memory_order_release);
+        }
+        const int ring_errno = errno != 0 ? errno : EIO;
+        for (ReadOp& op : ops) {
+          if (op.error == 0 && op.filled < op.len) op.error = ring_errno;
+        }
+        return;
+      }
+      in_flight += queued;
+
+      // Drain the completion ring.
+      std::atomic_ref<unsigned> cq_head(*ring.cq_head);
+      std::atomic_ref<unsigned> cq_tail(*ring.cq_tail);
+      unsigned head = cq_head.load(std::memory_order_relaxed);
+      const unsigned tail = cq_tail.load(std::memory_order_acquire);
+      while (head != tail) {
+        const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
+        const auto index = static_cast<std::uint32_t>(cqe.user_data);
+        ReadOp& op = ops[index];
+        std::int32_t res = cqe.res;
+        ++head;
+        --in_flight;
+        // Injected faults are applied to the completion, so the injected
+        // short read / EINTR flows through the real resubmission path.
+        if (faults[index] == Fault::kShort && res > 1) {
+          res /= 2;
+          faults[index] = Fault::kNone;
+          counters.short_retries.fetch_add(1, std::memory_order_relaxed);
+        } else if (faults[index] == Fault::kEintr) {
+          res = -EINTR;
+          faults[index] = Fault::kNone;
+        }
+        if (res < 0) {
+          if (res == -EINTR || res == -EAGAIN) {
+            counters.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+            pending.push_back(index);
+          } else {
+            op.error = -res;
+            ++done;
+          }
+        } else if (res == 0) {
+          ++done;  // EOF inside the range
+        } else {
+          op.filled += static_cast<std::size_t>(res);
+          if (op.filled < op.len) {
+            counters.short_retries.fetch_add(1, std::memory_order_relaxed);
+            pending.push_back(index);
+          } else {
+            ++done;
+          }
+        }
+      }
+      cq_head.store(head, std::memory_order_release);
+    }
+  }
+
+  std::shared_ptr<UringShared> shared_;
+};
+
+bool probe_uring() {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  const int fd = sys_io_uring_setup(4, &params);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+#else  // !HDS_WITH_URING
+
+bool probe_uring() { return false; }
+
+#endif
+
+}  // namespace
+
+bool uring_supported() noexcept {
+  static const bool supported = probe_uring();
+  return supported;
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "sync") return Backend::kSync;
+  if (name == "threads") return Backend::kThreads;
+  if (name == "uring") return Backend::kUring;
+  if (name == "auto") return Backend::kAuto;
+  return std::nullopt;
+}
+
+std::string_view backend_name(Backend kind) noexcept {
+  switch (kind) {
+    case Backend::kSync:
+      return "sync";
+    case Backend::kThreads:
+      return "threads";
+    case Backend::kUring:
+      return "uring";
+    case Backend::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<AsyncIoBackend> make_backend(Backend kind,
+                                             std::size_t queue_depth) {
+  if (queue_depth == 0) queue_depth = 32;
+  queue_depth = std::clamp<std::size_t>(queue_depth, 1, 512);
+  if (kind == Backend::kAuto) {
+    kind = uring_supported() ? Backend::kUring : Backend::kThreads;
+    if (const char* env = std::getenv("HDS_IO_BACKEND")) {
+      if (const auto forced = parse_backend(env);
+          forced && *forced != Backend::kAuto) {
+        kind = *forced;
+      } else if (obs::log_enabled(obs::LogLevel::kWarn)) {
+        obs::log_warn("io_backend_env_ignored", {{"value", env}});
+      }
+    }
+  }
+#if defined(HDS_WITH_URING) && HDS_WITH_URING
+  if (kind == Backend::kUring && uring_supported()) {
+    return std::make_unique<UringBackend>(queue_depth);
+  }
+#endif
+  if (kind == Backend::kSync) return std::make_unique<SyncBackend>();
+  // kThreads, or kUring on a kernel/build without io_uring.
+  return std::make_unique<ThreadsBackend>(queue_depth);
+}
+
+void set_fault_plan(const FaultPlan& plan) noexcept {
+  FaultState& state = fault_state();
+  std::lock_guard lock(state.mu);
+  state.plan = plan;
+  state.short_count = 0;
+  state.eintr_count = 0;
+  state.armed.store(
+      plan.short_read_every_n != 0 || plan.eintr_every_n != 0,
+      std::memory_order_relaxed);
+}
+
+void clear_fault_plan() noexcept { set_fault_plan({}); }
+
+}  // namespace hds::aio

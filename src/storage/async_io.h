@@ -1,0 +1,137 @@
+// Asynchronous read backends for the restore data plane (DESIGN.md §13).
+//
+// The container I/O fast path (DESIGN.md §10) reads exactly the extents a
+// restore needs — but it used to issue them as sequential pread(2) calls
+// from whichever thread asked. A fragmented partial read of 100 chunks is
+// 100 synchronous syscalls; a multi-stream restore serializes on them. This
+// header abstracts "execute a batch of reads" behind AsyncIoBackend so the
+// store can keep many extents — and many containers — in flight at once:
+//
+//   * UringIoBackend   — io_uring via raw syscalls (no liburing needed):
+//                        one submission batch per read_batch() call,
+//                        per-thread rings (no cross-thread locking on the
+//                        hot path), optional fixed-file registration of the
+//                        FdCache's long-lived descriptors;
+//   * ThreadsIoBackend — portable fallback: the batch fans out over a small
+//                        ThreadPool of preading workers;
+//   * SyncIoBackend    — the pre-PR behavior (sequential preads), kept as
+//                        the accounting/debugging baseline.
+//
+// Selection is runtime (`--io-backend=uring|threads|sync`, default auto):
+// auto probes io_uring support once and falls back to threads. The
+// HDS_IO_BACKEND environment variable overrides auto-detection — the
+// forced-fallback hook tests and operators use.
+//
+// Semantics shared by every backend:
+//   * read_batch() blocks until every op completes; ops may complete in any
+//     order and are retried internally on EINTR/EAGAIN and short reads;
+//   * `filled < len` with `error == 0` means EOF — the file ended inside
+//     the requested range (legal for O_DIRECT tail reads, an error for
+//     exact reads; callers decide);
+//   * thread-safe: concurrent read_batch() calls from restore streams and
+//     prefetch workers proceed in parallel (the sync backend simply runs on
+//     the calling thread).
+//
+// Fault injection: every batch passes a durable::CrashInjector crash point
+// ("async_io_read" — kFail mode turns reads into EIO just like a dying
+// device), and set_fault_plan() can force periodic short reads / EINTRs to
+// exercise the resubmission paths deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace hds::aio {
+
+enum class Backend {
+  kSync = 0,
+  kThreads = 1,
+  kUring = 2,
+  kAuto = 3,  // resolve at make_backend() time; never the name of a backend
+};
+
+// One pread-shaped operation. `reg_key` is a stable identity for fixed-file
+// registration (the container ID when the fd comes from the FdCache); 0
+// means "never register". Results land in `error` (errno, 0 on success) and
+// `filled` (bytes actually read — equal to len unless EOF or error).
+struct ReadOp {
+  int fd = -1;
+  std::uint64_t offset = 0;
+  std::uint8_t* dst = nullptr;
+  std::size_t len = 0;
+  std::uint64_t reg_key = 0;
+
+  int error = 0;
+  std::size_t filled = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return error == 0; }
+  [[nodiscard]] bool complete() const noexcept {
+    return error == 0 && filled == len;
+  }
+};
+
+// Cumulative backend counters (relaxed atomics underneath; a snapshot).
+struct BackendStats {
+  std::uint64_t batches = 0;       // read_batch() calls
+  std::uint64_t reads = 0;         // ops completed (any outcome)
+  std::uint64_t submits = 0;       // syscalls issued (enter/pread/task runs)
+  std::uint64_t short_retries = 0; // resubmissions after a short read
+  std::uint64_t eintr_retries = 0; // EINTR/EAGAIN resubmissions
+  std::uint64_t registered_files = 0;  // fixed-file slots installed (uring)
+};
+
+class AsyncIoBackend {
+ public:
+  virtual ~AsyncIoBackend() = default;
+
+  // Executes every op in `ops`, blocking until all complete. Per-op results
+  // are written back into the ops. Never throws for I/O outcomes — errors
+  // are reported per op so one bad extent fails one chunk, not the batch.
+  virtual void read_batch(std::span<ReadOp> ops) = 0;
+
+  // Drops any fixed-file registration derived from `reg_key` (the owning
+  // store calls this wherever it invalidates its fd cache: container
+  // rewrite, erase, forget). No-op for backends without registration.
+  virtual void invalidate(std::uint64_t reg_key) { (void)reg_key; }
+
+  [[nodiscard]] virtual Backend kind() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual BackendStats stats() const = 0;
+};
+
+// True when this kernel accepts io_uring_setup (probed once, cached).
+// Compile-time gating (HDS_WITH_URING / <linux/io_uring.h>) folds into the
+// same answer: a build without uring support reports false.
+[[nodiscard]] bool uring_supported() noexcept;
+
+// "sync" | "threads" | "uring" | "auto" → Backend; nullopt otherwise.
+[[nodiscard]] std::optional<Backend> parse_backend(
+    std::string_view name) noexcept;
+[[nodiscard]] std::string_view backend_name(Backend kind) noexcept;
+
+// Resolves `kind` to a concrete backend:
+//   * kAuto honors HDS_IO_BACKEND (sync|threads|uring) when set, otherwise
+//     picks uring when supported, else threads;
+//   * kUring on a kernel/build without io_uring silently degrades to
+//     threads (the returned backend's name() tells the truth);
+//   * `queue_depth` bounds in-flight ops per batch (uring SQ size, thread
+//     count for the pool; clamped to [1, 512], 0 = default 32).
+[[nodiscard]] std::unique_ptr<AsyncIoBackend> make_backend(
+    Backend kind, std::size_t queue_depth = 0);
+
+// Deterministic fault injection for tests (process-global, like
+// CrashInjector). every_n == 0 disables that fault. Short reads truncate
+// an op's first attempt to half its length; EINTR faults fail the first
+// attempt with EINTR. Both must be healed transparently by resubmission.
+struct FaultPlan {
+  std::uint32_t short_read_every_n = 0;
+  std::uint32_t eintr_every_n = 0;
+};
+void set_fault_plan(const FaultPlan& plan) noexcept;
+void clear_fault_plan() noexcept;
+
+}  // namespace hds::aio

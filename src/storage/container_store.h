@@ -26,6 +26,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/async_io.h"
 #include "storage/block_cache.h"
 #include "storage/container.h"
 #include "storage/fd_cache.h"
@@ -73,6 +74,26 @@ struct IoStats {
   }
 };
 
+// Per-call read accounting. The global IoStats counters aggregate every
+// caller; when several restore streams share one store, per-stream profiles
+// built from global counter deltas cross-pollute (stream A's delta includes
+// stream B's reads). A caller that passes a ReadMeter gets the exact
+// logical/physical charge of its own calls, attributable to its own
+// OpProfile. Not thread-safe by itself — each stream owns its meter and the
+// stream's threads (consumer + its prefetch workers) add through relaxed
+// atomics.
+struct ReadMeter {
+  std::atomic<std::uint64_t> container_reads{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_read_physical{0};
+
+  void add(std::uint64_t logical, std::uint64_t physical) noexcept {
+    container_reads.fetch_add(1, std::memory_order_relaxed);
+    bytes_read.fetch_add(logical, std::memory_order_relaxed);
+    bytes_read_physical.fetch_add(physical, std::memory_order_relaxed);
+  }
+};
+
 // Typed I/O failure: a container the store's index says exists could not be
 // opened or read from the backing medium — distinct from corruption, which
 // the read paths report by returning nullptr after a failed deserialize.
@@ -103,6 +124,16 @@ struct FileStoreTuning {
   // needed extents) instead of slurping the file. Format-2 containers and
   // any footer validation failure fall back to the slurp path either way.
   bool partial_reads = true;
+  // Async read backend for device reads (DESIGN.md §13): kAuto probes for
+  // io_uring and falls back to the thread-pool backend; kSync is the pre-PR
+  // sequential-pread behavior.
+  aio::Backend io_backend = aio::Backend::kAuto;
+  // In-flight ops per batch (uring SQ depth / pool width); 0 = default.
+  std::size_t io_depth = 0;
+  // Open container descriptors O_DIRECT and bounce through aligned buffers
+  // (FdCache::kDirectAlign): bypasses the page cache so the BlockCache is
+  // the only cache — measurement mode, off by default.
+  bool direct_io = false;
 };
 
 // Thread-safety contract: read(), read_chunks(), read_verified(), put(),
@@ -139,8 +170,11 @@ class ContainerStore {
   // contract as write(): throws on failure and counts only on success.
   void put(Container container);
 
-  // Fetches a container, counting one container read.
-  [[nodiscard]] std::shared_ptr<const Container> read(ContainerId id);
+  // Fetches a container, counting one container read. When `meter` is
+  // non-null the call's logical/physical charge is also added to it
+  // (per-stream accounting — see ReadMeter).
+  [[nodiscard]] std::shared_ptr<const Container> read(
+      ContainerId id, ReadMeter* meter = nullptr);
 
   // Fetches at least the chunks in `fps` of a container, counting one
   // container read with the FULL container's logical size (§5.3 accounting
@@ -149,13 +183,14 @@ class ContainerStore {
   // backend, caches, fallback): callers must not assume other chunks are
   // present. nullptr exactly when read() would return nullptr.
   [[nodiscard]] std::shared_ptr<const Container> read_chunks(
-      ContainerId id, std::span<const Fingerprint> fps);
+      ContainerId id, std::span<const Fingerprint> fps,
+      ReadMeter* meter = nullptr);
 
   // Integrity path (fsck): re-reads the container from the backing medium,
   // bypassing every cache, so post-write corruption is seen — counted like
   // a normal read.
   [[nodiscard]] std::shared_ptr<const Container> read_verified(
-      ContainerId id);
+      ContainerId id, ReadMeter* meter = nullptr);
 
   // Removes a container (expired-version deletion). Returns false if absent.
   bool erase(ContainerId id);
@@ -210,7 +245,7 @@ class ContainerStore {
 
  private:
   [[nodiscard]] std::shared_ptr<const Container> account_read(
-      ReadResult&& result);
+      ReadResult&& result, ReadMeter* meter);
 
   // 0 is reserved for "active" in recipes
   std::atomic<ContainerId> next_id_{1};
@@ -268,6 +303,7 @@ class FileContainerStore final : public ContainerStore {
   bool forget(ContainerId id) {
     fd_cache_.invalidate(id);
     block_cache_.invalidate(id);
+    io_->invalidate(static_cast<std::uint64_t>(id));
     std::lock_guard lock(mu_);
     return known_.erase(id) > 0;
   }
@@ -291,8 +327,24 @@ class FileContainerStore final : public ContainerStore {
     std::uint64_t block_cache_bytes = 0;
     std::uint64_t partial_reads = 0;  // reads served via the footer index
     std::uint64_t read_errors = 0;    // ReadError caught at the boundary
+    // Async backend counters (aio::BackendStats, DESIGN.md §13).
+    std::uint64_t io_batches = 0;
+    std::uint64_t io_reads = 0;
+    std::uint64_t io_submits = 0;
+    std::uint64_t io_short_retries = 0;
+    std::uint64_t io_eintr_retries = 0;
+    std::uint64_t io_registered_files = 0;
   };
   [[nodiscard]] IoPathStats io_stats() const;
+
+  // The resolved read backend ("sync" | "threads" | "uring" — what kAuto
+  // actually picked, not what was asked for).
+  [[nodiscard]] std::string_view io_backend_name() const noexcept {
+    return io_->name();
+  }
+  [[nodiscard]] aio::Backend io_backend() const noexcept {
+    return io_->kind();
+  }
 
  protected:
   void do_write(ContainerId id, Container&& container) override;
@@ -303,11 +355,24 @@ class FileContainerStore final : public ContainerStore {
   bool do_erase(ContainerId id) override;
 
  private:
+  // One extent of a batched device read (offset is file-absolute).
+  struct ExtentRead {
+    std::uint64_t offset = 0;
+    std::uint8_t* dst = nullptr;
+    std::size_t len = 0;
+  };
+
   [[nodiscard]] std::filesystem::path path_for(ContainerId id) const;
   [[nodiscard]] bool is_known(ContainerId id) const {
     std::lock_guard lock(mu_);
     return known_.contains(id);
   }
+  // Executes `reads` as one backend batch through `handle` (bouncing via
+  // aligned scratch when the descriptor is O_DIRECT). Throws ReadError on
+  // any per-op failure or EOF inside a requested range; returns the bytes
+  // physically transferred (≥ requested in direct mode — alignment pad).
+  std::uint64_t read_extents(const FdCache::Handle& handle, ContainerId id,
+                             std::span<ExtentRead> reads);
   // Whole-file read through the fd cache; throws ReadError on I/O failure.
   ReadResult slurp(ContainerId id);
   // Footer-index partial read; nullopt when the file is not format 3 or the
@@ -321,6 +386,7 @@ class FileContainerStore final : public ContainerStore {
   std::unordered_map<ContainerId, bool> known_;
   FdCache fd_cache_;
   BlockCache block_cache_;
+  std::unique_ptr<aio::AsyncIoBackend> io_;
   std::atomic<std::uint64_t> partial_reads_{0};
   std::atomic<std::uint64_t> read_errors_{0};
 };

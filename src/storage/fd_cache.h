@@ -41,6 +41,10 @@ class FdCache {
     // wholesale (atomic rename) and invalidate the entry, so the size stays
     // true for the descriptor's inode.
     [[nodiscard]] std::uint64_t size() const noexcept;
+    // True when the descriptor was opened O_DIRECT: reads through it must
+    // obey the alignment rules (offset, length and buffer all aligned to
+    // kDirectAlign; see DESIGN.md §13).
+    [[nodiscard]] bool direct() const noexcept;
 
    private:
     friend class FdCache;
@@ -63,6 +67,19 @@ class FdCache {
   // in-flight handles keep their descriptors pinned as usual).
   void set_capacity(std::size_t capacity);
 
+  // Alignment contract for O_DIRECT descriptors: 4096 covers every current
+  // filesystem/device combination (logical block size ≤ 4K, page size 4K).
+  static constexpr std::size_t kDirectAlign = 4096;
+
+  // Open subsequent descriptors with O_DIRECT (setup operation: clears the
+  // cache so cached buffered descriptors don't masquerade as direct ones).
+  // Per-open EINVAL — a filesystem that refuses O_DIRECT — falls back to a
+  // buffered descriptor, reported through Handle::direct().
+  void set_direct(bool direct);
+  [[nodiscard]] bool direct_mode() const noexcept {
+    return direct_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -82,6 +99,7 @@ class FdCache {
   std::unordered_map<ContainerId, decltype(lru_)::iterator> index_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> opens_{0};
+  std::atomic<bool> direct_{false};
 };
 
 }  // namespace hds

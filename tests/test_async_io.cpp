@@ -1,0 +1,586 @@
+// Tests for the async restore data plane (DESIGN.md §13): backend parity
+// (sync / threads / io_uring produce byte-identical reads with identical
+// logical accounting), forced fallback via HDS_IO_BACKEND, short-read and
+// EINTR injection through the resubmission paths, CrashInjector-driven
+// device failure, O_DIRECT round trips, per-stream ReadMeter attribution
+// under concurrent restore streams, and the RestoreTuner control loop.
+// Runs under TSan via the `concurrency` label.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "restore/read_ahead.h"
+#include "restore/tuner.h"
+#include "storage/async_io.h"
+#include "storage/container_store.h"
+#include "storage/durable.h"
+
+namespace hds {
+namespace {
+
+std::filesystem::path fresh_dir(const char* name) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string(name) + "_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::filesystem::path write_patterned_file(const std::filesystem::path& dir,
+                                           std::size_t size) {
+  const auto path = dir / "data.bin";
+  std::ofstream out(path, std::ios::binary);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.put(static_cast<char>(i * 31 + 7));
+  }
+  return path;
+}
+
+std::vector<std::uint8_t> expected_bytes(std::uint64_t offset,
+                                         std::size_t len) {
+  std::vector<std::uint8_t> bytes(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    bytes[i] = static_cast<std::uint8_t>((offset + i) * 31 + 7);
+  }
+  return bytes;
+}
+
+Container make_container(std::uint64_t seed, std::size_t chunks = 8) {
+  Container c(0, 256 * 1024);
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    std::vector<std::uint8_t> data(2048 + rng.next_below(4096));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    c.add(Fingerprint::from_seed(seed * 100 + i), data);
+  }
+  return c;
+}
+
+// Every backend buildable on this machine (uring only when the kernel
+// cooperates). Parity tests iterate this list.
+std::vector<aio::Backend> available_backends() {
+  std::vector<aio::Backend> backends{aio::Backend::kSync,
+                                     aio::Backend::kThreads};
+  if (aio::uring_supported()) backends.push_back(aio::Backend::kUring);
+  return backends;
+}
+
+// --- Backend unit tests ---------------------------------------------------
+
+TEST(AsyncIoBackend, ParseAndNameRoundTrip) {
+  EXPECT_EQ(aio::parse_backend("sync"), aio::Backend::kSync);
+  EXPECT_EQ(aio::parse_backend("threads"), aio::Backend::kThreads);
+  EXPECT_EQ(aio::parse_backend("uring"), aio::Backend::kUring);
+  EXPECT_EQ(aio::parse_backend("auto"), aio::Backend::kAuto);
+  EXPECT_FALSE(aio::parse_backend("aio").has_value());
+  EXPECT_FALSE(aio::parse_backend("").has_value());
+  for (const auto kind : available_backends()) {
+    EXPECT_EQ(aio::parse_backend(aio::backend_name(kind)), kind);
+  }
+}
+
+TEST(AsyncIoBackend, AutoResolvesToConcreteBackend) {
+  const auto backend = aio::make_backend(aio::Backend::kAuto);
+  ASSERT_NE(backend, nullptr);
+  // Never kAuto: auto is a request, not a backend.
+  EXPECT_NE(backend->kind(), aio::Backend::kAuto);
+  if (aio::uring_supported()) {
+    EXPECT_EQ(backend->kind(), aio::Backend::kUring);
+  } else {
+    EXPECT_EQ(backend->kind(), aio::Backend::kThreads);
+  }
+}
+
+TEST(AsyncIoBackend, EnvOverrideForcesFallback) {
+  ::setenv("HDS_IO_BACKEND", "sync", 1);
+  EXPECT_EQ(aio::make_backend(aio::Backend::kAuto)->kind(),
+            aio::Backend::kSync);
+  ::setenv("HDS_IO_BACKEND", "threads", 1);
+  EXPECT_EQ(aio::make_backend(aio::Backend::kAuto)->kind(),
+            aio::Backend::kThreads);
+  // Garbage is ignored (warned), not fatal: auto still resolves.
+  ::setenv("HDS_IO_BACKEND", "bogus", 1);
+  EXPECT_NE(aio::make_backend(aio::Backend::kAuto)->kind(),
+            aio::Backend::kAuto);
+  ::unsetenv("HDS_IO_BACKEND");
+  // An explicit (non-auto) request is never overridden by the env.
+  ::setenv("HDS_IO_BACKEND", "threads", 1);
+  EXPECT_EQ(aio::make_backend(aio::Backend::kSync)->kind(),
+            aio::Backend::kSync);
+  ::unsetenv("HDS_IO_BACKEND");
+}
+
+TEST(AsyncIoBackend, BatchReadsFillExactBytesOnEveryBackend) {
+  const auto dir = fresh_dir("hds_aio_batch");
+  const std::size_t file_size = 64 * 1024;
+  const auto path = write_patterned_file(dir, file_size);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    const auto backend = aio::make_backend(kind, 8);
+    // More ops than queue depth: forces multiple submission windows.
+    std::vector<std::vector<std::uint8_t>> buffers;
+    std::vector<aio::ReadOp> ops;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const std::uint64_t offset = i * 3001;
+      buffers.emplace_back(1500 + i * 17);
+      ops.push_back({fd, offset, buffers.back().data(),
+                     buffers.back().size(), /*reg_key=*/0, 0, 0});
+    }
+    // EOF inside the range: error stays 0, filled is the readable tail.
+    buffers.emplace_back(4096);
+    ops.push_back({fd, file_size - 100, buffers.back().data(), 4096,
+                   /*reg_key=*/0, 0, 0});
+    // Fully past EOF: zero bytes, still not an error.
+    buffers.emplace_back(128);
+    ops.push_back({fd, file_size + 10, buffers.back().data(), 128,
+                   /*reg_key=*/0, 0, 0});
+    // Bad descriptor: per-op error, must not poison the rest of the batch.
+    buffers.emplace_back(64);
+    ops.push_back({-1, 0, buffers.back().data(), 64, /*reg_key=*/0, 0, 0});
+
+    backend->read_batch(ops);
+
+    for (std::size_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(ops[i].complete()) << "op " << i << ": " << ops[i].error;
+      EXPECT_EQ(buffers[i], expected_bytes(ops[i].offset, ops[i].len));
+    }
+    EXPECT_EQ(ops[20].error, 0);
+    EXPECT_EQ(ops[20].filled, 100u);
+    EXPECT_EQ(std::vector<std::uint8_t>(buffers[20].begin(),
+                                        buffers[20].begin() + 100),
+              expected_bytes(file_size - 100, 100));
+    EXPECT_EQ(ops[21].error, 0);
+    EXPECT_EQ(ops[21].filled, 0u);
+    EXPECT_EQ(ops[22].error, EBADF);
+    const auto stats = backend->stats();
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_EQ(stats.reads, ops.size());
+  }
+  ::close(fd);
+}
+
+TEST(AsyncIoBackend, InjectedShortReadsAndEintrHeal) {
+  const auto dir = fresh_dir("hds_aio_faults");
+  const auto path = write_patterned_file(dir, 32 * 1024);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    const auto backend = aio::make_backend(kind, 4);
+    aio::set_fault_plan({/*short_read_every_n=*/2, /*eintr_every_n=*/3});
+    std::vector<std::vector<std::uint8_t>> buffers;
+    std::vector<aio::ReadOp> ops;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      buffers.emplace_back(2000);
+      ops.push_back({fd, i * 2500, buffers.back().data(), 2000,
+                     /*reg_key=*/0, 0, 0});
+    }
+    backend->read_batch(ops);
+    aio::clear_fault_plan();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      ASSERT_TRUE(ops[i].complete()) << "op " << i << ": " << ops[i].error;
+      EXPECT_EQ(buffers[i], expected_bytes(ops[i].offset, ops[i].len));
+    }
+    const auto stats = backend->stats();
+    EXPECT_GT(stats.short_retries, 0u);
+    EXPECT_GT(stats.eintr_retries, 0u);
+  }
+  ::close(fd);
+}
+
+TEST(AsyncIoBackend, CrashInjectorTurnsBatchesIntoDeviceErrors) {
+  const auto dir = fresh_dir("hds_aio_crash");
+  const auto path = write_patterned_file(dir, 8 * 1024);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    const auto backend = aio::make_backend(kind, 4);
+    durable::CrashInjector::arm(1, durable::FaultMode::kFail);
+    std::vector<std::uint8_t> buffer(1024);
+    aio::ReadOp op{fd, 0, buffer.data(), buffer.size(), 0, 0, 0};
+    backend->read_batch({&op, 1});
+    durable::CrashInjector::disarm();
+    EXPECT_EQ(op.error, EIO);
+    // The device recovers: the same backend reads fine afterwards.
+    op = {fd, 0, buffer.data(), buffer.size(), 0, 0, 0};
+    backend->read_batch({&op, 1});
+    EXPECT_TRUE(op.complete());
+    EXPECT_EQ(buffer, expected_bytes(0, buffer.size()));
+  }
+  ::close(fd);
+}
+
+// --- Store-level parity ---------------------------------------------------
+
+class AsyncStoreParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fresh_dir("hds_aio_parity");
+    FileContainerStore seed(dir_);
+    for (std::uint64_t s = 1; s <= 6; ++s) {
+      const auto id = seed.write(make_container(s));
+      for (std::size_t i = 0; i < 8; ++i) {
+        const auto fp = Fingerprint::from_seed(s * 100 + i);
+        const auto got = seed.read(id);
+        ASSERT_NE(got, nullptr);
+        const auto bytes = got->read(fp);
+        ASSERT_TRUE(bytes.has_value());
+        reference_[id][fp].assign(bytes->begin(), bytes->end());
+      }
+      ids_.push_back(id);
+    }
+  }
+
+  // Reads every container (full and as a 3-chunk partial) through a store
+  // configured with `tuning`; checks bytes against the reference and
+  // returns the store's logical read accounting.
+  std::pair<std::uint64_t, std::uint64_t> run_reads(
+      const FileStoreTuning& tuning) {
+    FileContainerStore store(dir_, /*index_existing=*/true, tuning);
+    for (const auto id : ids_) {
+      const auto full = store.read(id);
+      if (full == nullptr) {
+        ADD_FAILURE() << "full read failed for container " << id;
+        continue;
+      }
+      std::vector<Fingerprint> subset;
+      for (const auto& [fp, bytes] : reference_[id]) {
+        if (subset.size() < 3) subset.push_back(fp);
+        const auto read = full->read(fp);
+        if (!read.has_value()) {
+          ADD_FAILURE() << "chunk missing from full read";
+          continue;
+        }
+        EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), read->begin(),
+                               read->end()));
+      }
+      const auto partial = store.read_chunks(id, subset);
+      if (partial == nullptr) {
+        ADD_FAILURE() << "partial read failed for container " << id;
+        continue;
+      }
+      for (const auto& fp : subset) {
+        const auto read = partial->read(fp);
+        if (!read.has_value()) {
+          ADD_FAILURE() << "chunk missing from partial read";
+          continue;
+        }
+        const auto& bytes = reference_[id][fp];
+        EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), read->begin(),
+                               read->end()));
+      }
+    }
+    return {store.stats().container_reads, store.stats().bytes_read};
+  }
+
+  std::filesystem::path dir_;
+  std::vector<ContainerId> ids_;
+  std::map<ContainerId, std::map<Fingerprint, std::vector<std::uint8_t>>>
+      reference_;
+};
+
+TEST_F(AsyncStoreParity, RestoredBytesAndLogicalStatsMatchAcrossBackends) {
+  FileStoreTuning tuning;
+  tuning.io_backend = aio::Backend::kSync;
+  const auto baseline = run_reads(tuning);
+  EXPECT_EQ(baseline.first, ids_.size() * 2);  // one full + one partial each
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    tuning.io_backend = kind;
+    // Logical container_reads and bytes_read are backend-invariant (§5.3
+    // accounting); only bytes_read_physical may differ.
+    EXPECT_EQ(run_reads(tuning), baseline);
+  }
+}
+
+TEST_F(AsyncStoreParity, DirectIoRoundTripsOnEveryBackend) {
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    FileStoreTuning tuning;
+    tuning.io_backend = kind;
+    // O_DIRECT where the filesystem allows it, silent buffered fallback
+    // where it does not (tmpfs) — bytes must be right either way.
+    tuning.direct_io = true;
+    FileStoreTuning baseline_tuning;
+    baseline_tuning.io_backend = aio::Backend::kSync;
+    EXPECT_EQ(run_reads(tuning), run_reads(baseline_tuning));
+  }
+}
+
+TEST_F(AsyncStoreParity, ReadMeterAttributesCallsToTheCaller) {
+  FileContainerStore store(dir_, /*index_existing=*/true);
+  ReadMeter a;
+  ReadMeter b;
+  ASSERT_NE(store.read(ids_[0], &a), nullptr);
+  ASSERT_NE(store.read(ids_[1], &b), nullptr);
+  ASSERT_NE(store.read(ids_[2], &b), nullptr);
+  EXPECT_EQ(a.container_reads.load(), 1u);
+  EXPECT_EQ(b.container_reads.load(), 2u);
+  EXPECT_GT(a.bytes_read.load(), 0u);
+  // Meters partition the store's global accounting exactly.
+  EXPECT_EQ(a.container_reads.load() + b.container_reads.load(),
+            store.stats().container_reads);
+  EXPECT_EQ(a.bytes_read.load() + b.bytes_read.load(),
+            store.stats().bytes_read);
+}
+
+// Two concurrent restore streams hammer one shared store (the multi-stream
+// contract the async data plane exists for): byte-identical results and
+// exact per-stream accounting, with no cross-pollution between meters.
+TEST_F(AsyncStoreParity, ConcurrentStreamsKeepPerStreamAccounting) {
+  for (const auto kind : available_backends()) {
+    SCOPED_TRACE(aio::backend_name(kind));
+    FileStoreTuning tuning;
+    tuning.io_backend = kind;
+    tuning.block_cache_bytes = 0;  // every read hits the device path
+    FileContainerStore store(dir_, /*index_existing=*/true, tuning);
+    constexpr int kRounds = 8;
+    ReadMeter meters[2];
+    std::atomic<int> failures{0};
+    auto stream = [&](int which, bool reversed) {
+      auto order = ids_;
+      if (reversed) std::reverse(order.begin(), order.end());
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto id : order) {
+          const auto got = store.read(id, &meters[which]);
+          if (got == nullptr) {
+            failures.fetch_add(1);
+            continue;
+          }
+          for (const auto& [fp, bytes] : reference_[id]) {
+            const auto read = got->read(fp);
+            if (!read.has_value() ||
+                !std::equal(bytes.begin(), bytes.end(), read->begin(),
+                            read->end())) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      }
+    };
+    std::thread other(stream, 1, true);
+    stream(0, false);
+    other.join();
+    EXPECT_EQ(failures.load(), 0);
+    const auto per_stream =
+        static_cast<std::uint64_t>(kRounds) * ids_.size();
+    EXPECT_EQ(meters[0].container_reads.load(), per_stream);
+    EXPECT_EQ(meters[1].container_reads.load(), per_stream);
+    EXPECT_EQ(store.stats().container_reads, 2 * per_stream);
+    EXPECT_EQ(meters[0].bytes_read.load(), meters[1].bytes_read.load());
+  }
+}
+
+// Two ReadAheadFetcher streams with overlapping prefetch workers against
+// one store: the fetcher pipeline above the async backend must stay
+// byte-correct and exactly-once under real thread interleavings.
+TEST_F(AsyncStoreParity, ConcurrentPrefetchedStreamsStayExactlyOnce) {
+  struct StoreFetcher final : ContainerFetcher {
+    StoreFetcher(FileContainerStore& s, ReadMeter& m) : store(s), meter(m) {}
+    std::shared_ptr<const Container> fetch(const ChunkLoc& loc) override {
+      return store.read(loc.cid, &meter);
+    }
+    FileContainerStore& store;
+    ReadMeter& meter;
+  };
+  FileStoreTuning tuning;
+  tuning.block_cache_bytes = 0;
+  FileContainerStore store(dir_, /*index_existing=*/true, tuning);
+  std::vector<ChunkLoc> locs;
+  for (const auto id : ids_) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      ChunkLoc loc;
+      loc.fp = Fingerprint::from_seed(static_cast<std::uint64_t>(id) * 100 +
+                                      i);
+      loc.cid = id;
+      locs.push_back(loc);
+    }
+  }
+  ReadMeter meters[2];
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> wasted_total{0};
+  auto stream = [&](int which) {
+    StoreFetcher base(store, meters[which]);
+    ReadAheadConfig config;
+    config.depth = 4;
+    config.in_flight = 3;
+    ReadAheadFetcher fetcher(base, locs, config);
+    // One fetch per container run, like a policy whose cache holds the
+    // current container across its chunks (the stream groups by cid).
+    std::shared_ptr<const Container> current;
+    ContainerId current_id = 0;
+    for (const auto& loc : locs) {
+      if (current == nullptr || loc.cid != current_id) {
+        current = fetcher.fetch(loc);
+        current_id = loc.cid;
+      }
+      if (current == nullptr || !current->contains(loc.fp)) {
+        failures.fetch_add(1);
+      }
+    }
+    fetcher.stop();
+    // The satellite accounting contract: this stream's meter charges it for
+    // exactly its consumed containers plus its own wasted prefetches (reads
+    // the prefetcher issued after the consumer had already passed that
+    // point) — subtracting waste recovers the serial run's count, with no
+    // cross-pollution from the concurrent stream.
+    EXPECT_EQ(fetcher.prefetch_hits() + fetcher.prefetch_misses(),
+              ids_.size());
+    EXPECT_EQ(meters[which].container_reads.load(),
+              ids_.size() + fetcher.wasted_reads());
+    wasted_total.fetch_add(fetcher.wasted_reads());
+  };
+  std::thread other(stream, 1);
+  stream(0);
+  other.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.stats().container_reads,
+            2 * ids_.size() + wasted_total.load());
+  EXPECT_EQ(meters[0].container_reads.load() +
+                meters[1].container_reads.load(),
+            store.stats().container_reads);
+}
+
+// --- RestoreTuner control loop --------------------------------------------
+
+TunerState tuned_state() {
+  TunerState state;
+  state.tuning.block_cache_bytes = 32ull << 20;
+  state.tuning.fd_cache_slots = 64;
+  state.prefetch_depth = 8;
+  state.prefetch_in_flight = 2;
+  return state;
+}
+
+obs::OpProfile restore_op(std::uint64_t logical, std::uint64_t physical) {
+  obs::OpProfile op;
+  op.kind = "restore";
+  op.bytes_logical = logical;
+  op.bytes_physical = physical;
+  return op;
+}
+
+TEST(RestoreTuner, FirstObservationOnlyCollectsBaseline) {
+  RestoreTuner tuner(tuned_state());
+  FileContainerStore::IoPathStats io;
+  io.block_cache_hits = 10;
+  io.block_cache_misses = 90;
+  const auto decision = tuner.observe(restore_op(1 << 20, 3 << 20), io);
+  EXPECT_FALSE(decision.changed);
+  EXPECT_EQ(tuner.adjustments(), 0u);
+}
+
+TEST(RestoreTuner, GrowsBlockCacheWhileThrashing) {
+  RestoreTuner tuner(tuned_state());
+  FileContainerStore::IoPathStats io;
+  (void)tuner.observe(restore_op(1 << 20, 1 << 20), io);
+  // Low hit rate AND the misses became physical reads: budget doubles.
+  io.block_cache_hits = 10;
+  io.block_cache_misses = 90;
+  const auto decision = tuner.observe(restore_op(1 << 20, 3 << 20), io);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.state.tuning.block_cache_bytes, 64ull << 20);
+  EXPECT_NE(decision.reason.find("block_cache"), std::string::npos);
+  // Same signal again compounds from the new state, up to the cap.
+  io.block_cache_hits += 10;
+  io.block_cache_misses += 90;
+  EXPECT_EQ(tuner.observe(restore_op(1 << 20, 3 << 20), io)
+                .state.tuning.block_cache_bytes,
+            128ull << 20);
+}
+
+TEST(RestoreTuner, ShrinksColdOversizedBlockCache) {
+  RestoreTuner tuner(tuned_state());
+  FileContainerStore::IoPathStats io;
+  (void)tuner.observe(restore_op(1 << 20, 0), io);
+  io.block_cache_hits = 100;
+  io.block_cache_misses = 1;
+  io.block_cache_bytes = 1 << 20;  // resident far under the 32 MiB budget
+  const auto decision = tuner.observe(restore_op(1 << 20, 0), io);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.state.tuning.block_cache_bytes, 16ull << 20);
+}
+
+TEST(RestoreTuner, GrowsFdCacheOnChurnButOnlyOneKnobPerRound) {
+  RestoreTuner tuner(tuned_state());
+  FileContainerStore::IoPathStats io;
+  (void)tuner.observe(restore_op(1 << 20, 1 << 20), io);
+  // Fd churn AND block-cache thrash: the block cache (checked first) moves,
+  // fd slots wait for the next round — coordinate descent.
+  io.block_cache_hits = 10;
+  io.block_cache_misses = 90;
+  io.fd_cache_opens = 50;
+  io.fd_cache_hits = 50;
+  auto decision = tuner.observe(restore_op(1 << 20, 3 << 20), io);
+  EXPECT_EQ(decision.state.tuning.block_cache_bytes, 64ull << 20);
+  EXPECT_EQ(decision.state.tuning.fd_cache_slots, 64u);
+  // Next round: block cache healthy AND fully resident (so the shrink rule
+  // stays quiet), churn persists → fd slots double.
+  io.block_cache_hits += 100;
+  io.block_cache_bytes = 48ull << 20;
+  io.fd_cache_opens += 50;
+  io.fd_cache_hits += 50;
+  decision = tuner.observe(restore_op(1 << 20, 1 << 20), io);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.state.tuning.fd_cache_slots, 128u);
+}
+
+TEST(RestoreTuner, PrefetchWindowFollowsSaturationAndWaste) {
+  RestoreTuner tuner(tuned_state());
+  FileContainerStore::IoPathStats io;
+  (void)tuner.observe(restore_op(1 << 20, 0), io);
+  // Buffer pegged at its cap with nothing wasted: window doubles and the
+  // in-flight worker count follows (depth/4, capped).
+  auto op = restore_op(1 << 20, 0);
+  op.container_reads = 100;
+  op.cache_wasted = 0;
+  op.queue_depth_peak = 8.0;
+  auto decision = tuner.observe(op, io);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.state.prefetch_depth, 16u);
+  EXPECT_EQ(decision.state.prefetch_in_flight, 4u);
+  EXPECT_GE(decision.state.tuning.io_depth, 32u);
+  // Mostly-wasted prefetches: the window halves.
+  op.container_reads = 10;
+  op.cache_wasted = 30;
+  op.queue_depth_peak = 2.0;
+  decision = tuner.observe(op, io);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.state.prefetch_depth, 8u);
+}
+
+TEST(RestoreTuner, RespectsLimitsAndNeverEnablesPrefetchItself) {
+  TunerLimits limits;
+  limits.max_block_cache_bytes = 64ull << 20;
+  auto state = tuned_state();
+  state.tuning.block_cache_bytes = 64ull << 20;
+  state.prefetch_depth = 0;  // read-ahead off: the tuner must not turn it on
+  RestoreTuner tuner(state, limits);
+  FileContainerStore::IoPathStats io;
+  (void)tuner.observe(restore_op(1 << 20, 1 << 20), io);
+  io.block_cache_hits = 10;
+  io.block_cache_misses = 90;
+  auto op = restore_op(1 << 20, 3 << 20);
+  op.queue_depth_peak = 100.0;
+  const auto decision = tuner.observe(op, io);
+  EXPECT_EQ(decision.state.tuning.block_cache_bytes, 64ull << 20);
+  EXPECT_EQ(decision.state.prefetch_depth, 0u);
+}
+
+}  // namespace
+}  // namespace hds
