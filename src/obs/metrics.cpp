@@ -138,7 +138,7 @@ void Histogram::reset() noexcept {
 // --- MetricsRegistry ---
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -146,7 +146,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -155,7 +155,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_
@@ -165,33 +165,33 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [raw, c] : counters_) {
     const auto name = sanitize_prometheus_name(raw);
@@ -226,7 +226,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -20,10 +20,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hds::obs {
 
@@ -150,10 +151,14 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Leaf lock: registration/export only — instrument updates are lock-free.
+  mutable Mutex mu_{lockrank::kObsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HDS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HDS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HDS_GUARDED_BY(mu_);
 };
 
 }  // namespace hds::obs

@@ -182,7 +182,7 @@ OpProfiler::OpProfiler(std::size_t capacity)
 std::unique_ptr<OpRecorder> OpProfiler::begin(std::string kind) {
   std::uint64_t id = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
   }
   return std::unique_ptr<OpRecorder>(
@@ -190,7 +190,7 @@ std::unique_ptr<OpRecorder> OpProfiler::begin(std::string kind) {
 }
 
 void OpProfiler::commit(OpProfile&& profile) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++completed_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(profile));
@@ -201,7 +201,7 @@ void OpProfiler::commit(OpProfile&& profile) {
 }
 
 std::vector<OpProfile> OpProfiler::recent() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<OpProfile> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -211,7 +211,7 @@ std::vector<OpProfile> OpProfiler::recent() const {
 }
 
 std::uint64_t OpProfiler::completed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 

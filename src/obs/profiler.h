@@ -21,10 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hds::obs {
 
@@ -167,11 +168,12 @@ class OpProfiler {
   void commit(OpProfile&& profile);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<OpProfile> ring_;  // ring_[head_] is the oldest entry
-  std::size_t head_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t completed_ = 0;
+  mutable Mutex mu_{lockrank::kObsProfiler};
+  // ring_[head_] is the oldest entry.
+  std::vector<OpProfile> ring_ HDS_GUARDED_BY(mu_);
+  std::size_t head_ HDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_id_ HDS_GUARDED_BY(mu_) = 1;
+  std::uint64_t completed_ HDS_GUARDED_BY(mu_) = 0;
 };
 
 // Monotonic wall clock in ms (process-local epoch).

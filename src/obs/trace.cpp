@@ -128,7 +128,7 @@ void Tracer::record(std::string name, double ts_us, double dur_us) {
 
 void Tracer::record(TraceEvent event) {
   if (event.tid == 0) event.tid = current_tid();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -171,17 +171,17 @@ void Tracer::set_thread_name(std::string_view name) {
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::string Tracer::to_json() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const auto& e : events_) {

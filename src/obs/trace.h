@@ -25,10 +25,11 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hds::obs {
 
@@ -122,8 +123,10 @@ class Tracer {
 
   std::chrono::steady_clock::time_point origin_;
   std::atomic<std::uint64_t> id_source_{0};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  // Innermost lock in the tree: spans end (and record here) while queue /
+  // prefetch locks are held, so every other rank must be below kObsTracer.
+  mutable Mutex mu_{lockrank::kObsTracer};
+  std::vector<TraceEvent> events_ HDS_GUARDED_BY(mu_);
 };
 
 // Renders a key/value pair onto an args body string (comma-separated

@@ -8,16 +8,18 @@
 //   * pop() drains remaining items, then returns nullopt once closed+empty.
 //
 // All operations are thread-safe; the queue never reallocates while full
-// (std::deque segments), so push/pop cost is one lock + one move.
+// (std::deque segments), so push/pop cost is one lock + one move. Lock
+// discipline is compile-time checked (thread_annotations.h): every member
+// is HDS_GUARDED_BY(mu_), and mu_ ranks kQueue — below the tracer lock the
+// blocked-wait spans record under.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,16 +37,12 @@ class BoundedQueue {
   // Blocks while the queue is full. Returns false (dropping `item`) if the
   // queue was closed before space appeared.
   bool push(T item) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (!closed_ && items_.size() >= capacity_) {
       // Only a wait that actually blocks earns a span — recording one per
       // push would drown the trace in zero-length events.
       obs::Span wait(tracer_, push_wait_name_);
-      not_full_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
-    } else {
-      not_full_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(mu_);
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
@@ -55,7 +53,7 @@ class BoundedQueue {
 
   // Non-blocking push; false when full or closed.
   bool try_push(T item) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     publish_depth(items_.size());
@@ -66,12 +64,10 @@ class BoundedQueue {
   // Blocks while the queue is empty. Returns nullopt only when the queue is
   // closed AND drained, so no pushed item is ever lost.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (!closed_ && items_.empty()) {
       obs::Span wait(tracer_, pop_wait_name_);
-      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    } else {
-      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      while (!closed_ && items_.empty()) not_empty_.wait(mu_);
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -83,7 +79,7 @@ class BoundedQueue {
 
   // Non-blocking pop; nullopt when empty.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -94,19 +90,19 @@ class BoundedQueue {
 
   // Wakes every waiter. Idempotent; pending items remain poppable.
   void close() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -115,7 +111,7 @@ class BoundedQueue {
   // Mirrors the instantaneous depth into `gauge` on every push/pop (the
   // obs-layer queue-depth gauges). The gauge must outlive the queue.
   void attach_depth_gauge(obs::Gauge* gauge) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     depth_gauge_ = gauge;
     publish_depth(items_.size());
   }
@@ -124,29 +120,29 @@ class BoundedQueue {
   // pop()/push() actually blocks — the queue-wait signal of the restore/
   // ingest timelines. The tracer must outlive the queue; nullptr detaches.
   void attach_tracer(obs::Tracer* tracer, std::string_view name) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     tracer_ = tracer;
     pop_wait_name_ = std::string(name) + "_pop_wait";
     push_wait_name_ = std::string(name) + "_push_wait";
   }
 
  private:
-  void publish_depth(std::size_t depth) {
+  void publish_depth(std::size_t depth) HDS_REQUIRES(mu_) {
     if (depth_gauge_ != nullptr) {
       depth_gauge_->set(static_cast<double>(depth));
     }
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  obs::Gauge* depth_gauge_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
-  std::string pop_wait_name_;
-  std::string push_wait_name_;
+  mutable Mutex mu_{lockrank::kQueue};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ HDS_GUARDED_BY(mu_);
+  bool closed_ HDS_GUARDED_BY(mu_) = false;
+  obs::Gauge* depth_gauge_ HDS_GUARDED_BY(mu_) = nullptr;
+  obs::Tracer* tracer_ HDS_GUARDED_BY(mu_) = nullptr;
+  std::string pop_wait_name_ HDS_GUARDED_BY(mu_);
+  std::string push_wait_name_ HDS_GUARDED_BY(mu_);
 };
 
 }  // namespace hds::parallel

@@ -11,13 +11,13 @@
 // recipe order whatever order the fingerprint workers finish in.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace hds::parallel {
 
@@ -35,10 +35,10 @@ class OrderedMerge {
   // ahead of the next expected number. Returns false if the merge was
   // closed (result dropped). Each seq must be put at most once.
   bool put(std::uint64_t seq, T value) {
-    std::unique_lock lock(mu_);
-    space_.wait(lock, [&] {
-      return closed_ || window_ == 0 || seq < next_ + window_;
-    });
+    MutexLock lock(mu_);
+    while (!(closed_ || window_ == 0 || seq < next_ + window_)) {
+      space_.wait(mu_);
+    }
     if (closed_) return false;
     ready_.emplace(seq, std::move(value));
     if (seq == next_) available_.notify_one();
@@ -48,8 +48,8 @@ class OrderedMerge {
   // Returns result `next` in sequence order, blocking until it arrives;
   // nullopt once closed and the next expected result is not buffered.
   std::optional<T> next() {
-    std::unique_lock lock(mu_);
-    available_.wait(lock, [&] { return closed_ || ready_.contains(next_); });
+    MutexLock lock(mu_);
+    while (!(closed_ || ready_.contains(next_))) available_.wait(mu_);
     const auto it = ready_.find(next_);
     if (it == ready_.end()) return std::nullopt;
     T value = std::move(it->second);
@@ -62,25 +62,25 @@ class OrderedMerge {
   // Releases all waiters; pending puts fail, buffered results ahead of a
   // gap become unreachable. Idempotent.
   void close() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     space_.notify_all();
     available_.notify_all();
   }
 
   [[nodiscard]] std::uint64_t next_seq() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return next_;
   }
 
  private:
   const std::size_t window_;
-  mutable std::mutex mu_;
-  std::condition_variable space_;
-  std::condition_variable available_;
-  std::map<std::uint64_t, T> ready_;
-  std::uint64_t next_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_{lockrank::kOrderedMerge};
+  CondVar space_;
+  CondVar available_;
+  std::map<std::uint64_t, T> ready_ HDS_GUARDED_BY(mu_);
+  std::uint64_t next_ HDS_GUARDED_BY(mu_) = 0;
+  bool closed_ HDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hds::parallel

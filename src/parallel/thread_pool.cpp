@@ -30,26 +30,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   if (!queue_.push(std::move(task))) {
     // Closed pool (destruction in progress): the task will never run.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
     idle_.notify_all();
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_.wait(lock, [&] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) idle_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   while (auto task = queue_.pop()) {
     (*task)();
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (--pending_ == 0) idle_.notify_all();
   }
 }

@@ -10,13 +10,12 @@
 // carry errors through the task's own result channel.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "parallel/mpmc_queue.h"
 
 namespace hds::parallel {
@@ -61,9 +60,12 @@ class ThreadPool {
   BoundedQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable idle_;
-  std::size_t pending_ = 0;  // submitted but not yet finished
+  // Never held together with queue_.mu_: submit releases it before push,
+  // workers take it only after pop returns.
+  Mutex mu_{lockrank::kPoolIdle};
+  CondVar idle_;
+  // Submitted but not yet finished.
+  std::size_t pending_ HDS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hds::parallel

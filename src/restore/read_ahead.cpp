@@ -37,7 +37,7 @@ ReadAheadFetcher::~ReadAheadFetcher() { stop(); }
 
 void ReadAheadFetcher::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     space_.notify_all();
   }
@@ -51,13 +51,12 @@ void ReadAheadFetcher::prefetch_loop() {
     ChunkLoc loc{};
     std::uint64_t key = 0;
     {
-      std::unique_lock lock(mu_);
-      if (!stop_ && buffer_.size() >= depth_ && tracer_ != nullptr) {
+      MutexLock lock(mu_);
+      if (!stop_ && buffer_.size() >= depth_) {
         // Backpressure wait: the buffer is full, the consumer is behind.
+        // The span is a no-op without a tracer.
         obs::Span wait(tracer_, "prefetch_buffer_full");
-        space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
-      } else {
-        space_.wait(lock, [&] { return stop_ || buffer_.size() < depth_; });
+        while (!stop_ && buffer_.size() >= depth_) space_.wait(mu_);
       }
       if (stop_) break;
       // Claim the next container this restore will need. Each distinct
@@ -94,7 +93,7 @@ void ReadAheadFetcher::prefetch_loop() {
     }
     read_span.end();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const auto it = buffer_.find(key);
       if (it != buffer_.end()) {
         it->second.container = std::move(container);
@@ -106,7 +105,7 @@ void ReadAheadFetcher::prefetch_loop() {
       metrics_->counter("restore_prefetch_issued").inc();
     }
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Only the last worker out declares prefetching done: until then another
   // worker may still be mid-read, and the consumer must keep waiting on
   // in-flight entries rather than miss past them.
@@ -118,19 +117,20 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
     const ChunkLoc& loc) {
   if (loc.active) return base_.fetch(loc);  // never prefetched
   const std::uint64_t key = loc.key();
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = buffer_.find(key);
   if (it != buffer_.end() && !it->second.consumer_owned) {
     if (!it->second.ready) {
       // In flight on a prefetch worker; its read is the counted one.
-      // Re-find inside the predicate: inserts may rehash the map while we
+      // Re-find on every wakeup: inserts may rehash the map while we
       // wait, invalidating `it`. The wait is the restorer's I/O-wait: the
       // span shows the consumer stalled on an in-flight prefetch read.
       obs::Span wait(tracer_, "fetch_wait_inflight");
-      ready_.wait(lock, [&] {
+      while (true) {
         const auto cur = buffer_.find(key);
-        return cur == buffer_.end() || cur->second.ready;
-      });
+        if (cur == buffer_.end() || cur->second.ready) break;
+        ready_.wait(mu_);
+      }
       wait.end();
       it = buffer_.find(key);
     }
@@ -170,10 +170,13 @@ std::shared_ptr<const Container> ReadAheadFetcher::fetch(
   }
   auto container = base_.fetch(loc);
   if (mark) {
+    // Retake and release inside the branch so the lock state is identical
+    // on both paths into the return below.
     lock.lock();
     buffer_.erase(key);
     publish_depth();
     space_.notify_all();
+    lock.unlock();
   }
   return container;
 }
@@ -189,17 +192,17 @@ void ReadAheadFetcher::publish_depth() {
 }
 
 std::uint64_t ReadAheadFetcher::wasted_reads() const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return issued_ - consumed_;
 }
 
 std::uint64_t ReadAheadFetcher::prefetch_hits() const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t ReadAheadFetcher::prefetch_misses() const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -29,16 +29,15 @@
 // on the consumer thread).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -104,7 +103,7 @@ class ReadAheadFetcher final : public ContainerFetcher {
   };
 
   void prefetch_loop();
-  void publish_depth();  // callers hold mu_
+  void publish_depth() HDS_REQUIRES(mu_);
 
   ContainerFetcher& base_;
   std::span<const ChunkLoc> stream_;
@@ -114,21 +113,24 @@ class ReadAheadFetcher final : public ContainerFetcher {
   const std::uint64_t flow_id_base_;
   obs::OpRecorder* profile_;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_;  // workers wait for buffer room
-  std::condition_variable ready_;  // consumer waits for in-flight reads
-  std::unordered_map<std::uint64_t, Entry> buffer_;
+  // Outermost restore-side lock (rank kRestorePrefetch): held while the
+  // depth gauge registers (kObsRegistry) and wait spans record
+  // (kObsTracer), never while base_.fetch() runs.
+  mutable Mutex mu_{lockrank::kRestorePrefetch};
+  CondVar space_;  // workers wait for buffer room
+  CondVar ready_;  // consumer waits for in-flight reads
+  std::unordered_map<std::uint64_t, Entry> buffer_ HDS_GUARDED_BY(mu_);
   // Shared walk state: workers claim successive stream positions under mu_;
   // each distinct container is claimed (and read) by exactly one worker.
-  std::size_t cursor_ = 0;
-  std::unordered_set<std::uint64_t> walked_;
-  std::size_t workers_running_ = 0;
-  bool stop_ = false;
-  bool prefetch_done_ = false;
-  std::uint64_t issued_ = 0;
-  std::uint64_t consumed_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::size_t cursor_ HDS_GUARDED_BY(mu_) = 0;
+  std::unordered_set<std::uint64_t> walked_ HDS_GUARDED_BY(mu_);
+  std::size_t workers_running_ HDS_GUARDED_BY(mu_) = 0;
+  bool stop_ HDS_GUARDED_BY(mu_) = false;
+  bool prefetch_done_ HDS_GUARDED_BY(mu_) = false;
+  std::uint64_t issued_ HDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t consumed_ HDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ HDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ HDS_GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> threads_;  // last: start after all state is ready
 };

@@ -62,6 +62,7 @@ void RestoreTuner::attach_metrics(obs::MetricsRegistry* metrics) {
 
 TunerDecision RestoreTuner::observe(
     const obs::OpProfile& op, const FileContainerStore::IoPathStats& io) {
+  MutexLock lock(mu_);
   ++observations_;
 
   // Per-restore deltas of the store's cumulative counters. The first

@@ -28,12 +28,16 @@
 // via HiDeStore::set_io_tuning()/set_read_ahead() (hds_tool --auto-tune
 // does exactly that between versions of `restore all`).
 //
-// Thread-safety: none — one tuner per control loop, observed serially.
+// Thread-safety: observe()/state()/observations()/adjustments() are safe to
+// call concurrently (mu_, rank kRestoreTuner); attach_metrics() is a setup
+// operation, serialized externally. One tuner should still observe every
+// restore on its store — the delta bookkeeping is per-tuner.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "storage/container_store.h"
@@ -87,27 +91,36 @@ class RestoreTuner {
   TunerDecision observe(const obs::OpProfile& op,
                         const FileContainerStore::IoPathStats& io);
 
-  [[nodiscard]] const TunerState& state() const noexcept { return state_; }
-  [[nodiscard]] std::uint64_t observations() const noexcept {
+  // By value: a reference into mutable tuner state would race the next
+  // observe().
+  [[nodiscard]] TunerState state() const {
+    MutexLock lock(mu_);
+    return state_;
+  }
+  [[nodiscard]] std::uint64_t observations() const {
+    MutexLock lock(mu_);
     return observations_;
   }
-  [[nodiscard]] std::uint64_t adjustments() const noexcept {
+  [[nodiscard]] std::uint64_t adjustments() const {
+    MutexLock lock(mu_);
     return adjustments_;
   }
 
  private:
-  void publish(double block_hit_rate, double amplification);
+  void publish(double block_hit_rate, double amplification)
+      HDS_REQUIRES(mu_);
 
-  TunerState state_;
+  mutable Mutex mu_{lockrank::kRestoreTuner};
+  TunerState state_ HDS_GUARDED_BY(mu_);
   TunerLimits limits_;
   obs::MetricsRegistry* metrics_ = nullptr;
   // Previous cumulative io_stats snapshot; deltas describe the last
   // restore only, so one tuner must observe every restore on the store
   // (hds_tool owns the store for the whole invocation, so it does).
-  FileContainerStore::IoPathStats prev_io_{};
-  bool have_prev_ = false;
-  std::uint64_t observations_ = 0;
-  std::uint64_t adjustments_ = 0;
+  FileContainerStore::IoPathStats prev_io_ HDS_GUARDED_BY(mu_){};
+  bool have_prev_ HDS_GUARDED_BY(mu_) = false;
+  std::uint64_t observations_ HDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t adjustments_ HDS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hds

@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include <unistd.h>
 
+#include "common/thread_annotations.h"
 #include "obs/log.h"
 #include "parallel/thread_pool.h"
 #include "storage/durable.h"
@@ -34,10 +33,10 @@ namespace {
 // --- Fault injection (process-global, tests only) ---
 
 struct FaultState {
-  std::mutex mu;
-  FaultPlan plan;
-  std::uint64_t short_count = 0;
-  std::uint64_t eintr_count = 0;
+  Mutex mu{lockrank::kIoFault};
+  FaultPlan plan HDS_GUARDED_BY(mu);
+  std::uint64_t short_count HDS_GUARDED_BY(mu) = 0;
+  std::uint64_t eintr_count HDS_GUARDED_BY(mu) = 0;
   std::atomic<bool> armed{false};  // fast path: one relaxed load when off
 };
 
@@ -54,7 +53,7 @@ enum class Fault { kNone, kShort, kEintr };
 Fault take_fault() {
   FaultState& state = fault_state();
   if (!state.armed.load(std::memory_order_relaxed)) return Fault::kNone;
-  std::lock_guard lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.plan.short_read_every_n != 0 &&
       ++state.short_count % state.plan.short_read_every_n == 0) {
     return Fault::kShort;
@@ -184,18 +183,18 @@ class ThreadsBackend final : public AsyncIoBackend {
     }
     // Completion is counted per batch, not via wait_idle(): concurrent
     // streams share the pool, and each must wake when *its* ops finish.
-    std::mutex mu;
-    std::condition_variable done;
+    Mutex mu{lockrank::kIoLatch};
+    CondVar done;
     std::size_t remaining = ops.size();
     for (ReadOp& op : ops) {
       pool_.submit([this, &op, &mu, &done, &remaining] {
         run_sync_op(op, counters_);
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         if (--remaining == 0) done.notify_one();
       });
     }
-    std::unique_lock lock(mu);
-    done.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(mu);
+    while (remaining != 0) done.wait(mu);
   }
   [[nodiscard]] Backend kind() const noexcept override {
     return Backend::kThreads;
@@ -673,7 +672,7 @@ std::unique_ptr<AsyncIoBackend> make_backend(Backend kind,
 
 void set_fault_plan(const FaultPlan& plan) noexcept {
   FaultState& state = fault_state();
-  std::lock_guard lock(state.mu);
+  MutexLock lock(state.mu);
   state.plan = plan;
   state.short_count = 0;
   state.eintr_count = 0;

@@ -15,7 +15,7 @@ std::size_t BlockCache::charge_of(const Container& container) noexcept {
 std::optional<BlockCache::Hit> BlockCache::find_full(ContainerId id) {
   if (budget_ == 0) return std::nullopt;
   Shard& shard = shard_for(id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(id);
   if (it == shard.index.end() || !it->second->complete) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -30,7 +30,7 @@ std::optional<BlockCache::Hit> BlockCache::find_chunks(
     ContainerId id, std::span<const Fingerprint> fps) {
   if (budget_ == 0) return std::nullopt;
   Shard& shard = shard_for(id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(id);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +61,7 @@ void BlockCache::insert(ContainerId id,
   if (budget_ == 0 || container == nullptr) return;
   const std::size_t charge = charge_of(*container);
   Shard& shard = shard_for(id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (charge > shard_budget()) return;  // would evict the whole shard
   if (const auto it = shard.index.find(id); it != shard.index.end()) {
     // Never downgrade a complete entry to a partial one.
@@ -90,7 +90,7 @@ void BlockCache::evict_over_budget(Shard& shard) {
 void BlockCache::invalidate(ContainerId id) {
   if (budget_ == 0) return;
   Shard& shard = shard_for(id);
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (const auto it = shard.index.find(id); it != shard.index.end()) {
     shard.bytes -= it->second->charge;
     shard.lru.erase(it->second);
@@ -105,7 +105,7 @@ void BlockCache::reconfigure(std::size_t budget_bytes, std::size_t shards) {
 
 void BlockCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
@@ -115,7 +115,7 @@ void BlockCache::clear() {
 std::uint64_t BlockCache::bytes() const {
   std::uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.bytes;
   }
   return total;

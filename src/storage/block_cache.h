@@ -28,12 +28,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/container.h"
 
 namespace hds {
@@ -91,10 +91,11 @@ class BlockCache {
     std::size_t charge = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<ContainerId, std::list<Entry>::iterator> index;
-    std::size_t bytes = 0;
+    mutable Mutex mu{lockrank::kBlockCacheShard};
+    std::list<Entry> lru HDS_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<ContainerId, std::list<Entry>::iterator> index
+        HDS_GUARDED_BY(mu);
+    std::size_t bytes HDS_GUARDED_BY(mu) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(ContainerId id) noexcept {
@@ -105,7 +106,7 @@ class BlockCache {
     return budget_ / shards_.size();
   }
   static std::size_t charge_of(const Container& container) noexcept;
-  void evict_over_budget(Shard& shard);  // caller holds shard.mu
+  void evict_over_budget(Shard& shard) HDS_REQUIRES(shard.mu);
 
   std::size_t budget_;
   std::vector<Shard> shards_;

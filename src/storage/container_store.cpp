@@ -97,7 +97,7 @@ void ContainerStore::attach_metrics(obs::MetricsRegistry& registry,
 // --- MemoryContainerStore ---
 
 std::vector<ContainerId> MemoryContainerStore::ids() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ContainerId> out;
   out.reserve(containers_.size());
   for (const auto& [id, _] : containers_) out.push_back(id);
@@ -106,12 +106,12 @@ std::vector<ContainerId> MemoryContainerStore::ids() const {
 
 void MemoryContainerStore::do_write(ContainerId id, Container&& container) {
   auto stored = std::make_shared<const Container>(std::move(container));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   containers_[id] = std::move(stored);
 }
 
 ContainerStore::ReadResult MemoryContainerStore::do_read(ContainerId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = containers_.find(id);
   if (it == containers_.end()) return {};
   // RAM is the modeled disk: physical == logical, so every §5.3 experiment
@@ -121,7 +121,7 @@ ContainerStore::ReadResult MemoryContainerStore::do_read(ContainerId id) {
 }
 
 bool MemoryContainerStore::do_erase(ContainerId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return containers_.erase(id) > 0;
 }
 
@@ -223,7 +223,7 @@ std::filesystem::path FileContainerStore::path_for(ContainerId id) const {
 }
 
 std::vector<ContainerId> FileContainerStore::ids() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ContainerId> out;
   out.reserve(known_.size());
   for (const auto& [id, _] : known_) out.push_back(id);
@@ -243,7 +243,7 @@ void FileContainerStore::do_write(ContainerId id, Container&& container) {
   fd_cache_.invalidate(id);
   block_cache_.invalidate(id);
   io_->invalidate(static_cast<std::uint64_t>(id));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   known_[id] = true;
 }
 
@@ -544,7 +544,7 @@ ContainerStore::ReadResult FileContainerStore::do_read_verified(
 
 bool FileContainerStore::do_erase(ContainerId id) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (known_.erase(id) == 0) return false;
   }
   fd_cache_.invalidate(id);

@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -24,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/async_io.h"
@@ -262,7 +262,7 @@ class ContainerStore {
 class MemoryContainerStore final : public ContainerStore {
  public:
   [[nodiscard]] std::size_t container_count() const override {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return containers_.size();
   }
   [[nodiscard]] std::vector<ContainerId> ids() const override;
@@ -273,9 +273,10 @@ class MemoryContainerStore final : public ContainerStore {
   bool do_erase(ContainerId id) override;
 
  private:
-  mutable std::mutex mu_;  // guards containers_ (see thread-safety contract)
+  // See the class-level thread-safety contract.
+  mutable Mutex mu_{lockrank::kStoreIndex};
   std::unordered_map<ContainerId, std::shared_ptr<const Container>>
-      containers_;
+      containers_ HDS_GUARDED_BY(mu_);
 };
 
 class FileContainerStore final : public ContainerStore {
@@ -289,7 +290,7 @@ class FileContainerStore final : public ContainerStore {
                               const FileStoreTuning& tuning = {});
 
   [[nodiscard]] std::size_t container_count() const override {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return known_.size();
   }
   [[nodiscard]] std::vector<ContainerId> ids() const override;
@@ -304,7 +305,7 @@ class FileContainerStore final : public ContainerStore {
     fd_cache_.invalidate(id);
     block_cache_.invalidate(id);
     io_->invalidate(static_cast<std::uint64_t>(id));
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return known_.erase(id) > 0;
   }
 
@@ -364,7 +365,7 @@ class FileContainerStore final : public ContainerStore {
 
   [[nodiscard]] std::filesystem::path path_for(ContainerId id) const;
   [[nodiscard]] bool is_known(ContainerId id) const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return known_.contains(id);
   }
   // Executes `reads` as one backend batch through `handle` (bouncing via
@@ -382,8 +383,11 @@ class FileContainerStore final : public ContainerStore {
 
   std::filesystem::path dir_;
   FileStoreTuning tuning_;
-  mutable std::mutex mu_;  // guards known_ (see thread-safety contract)
-  std::unordered_map<ContainerId, bool> known_;
+  // Guards only the index map; the caches and io backend synchronize
+  // internally and are never acquired with mu_ held (kStoreIndex < kFdCache
+  // < kBlockCacheShard documents the would-be order regardless).
+  mutable Mutex mu_{lockrank::kStoreIndex};
+  std::unordered_map<ContainerId, bool> known_ HDS_GUARDED_BY(mu_);
   FdCache fd_cache_;
   BlockCache block_cache_;
   std::unique_ptr<aio::AsyncIoBackend> io_;

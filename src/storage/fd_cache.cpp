@@ -29,7 +29,7 @@ bool FdCache::Handle::direct() const noexcept { return holder_->direct; }
 FdCache::Handle FdCache::acquire(ContainerId id,
                                  const std::filesystem::path& path) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (const auto it = index_.find(id); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -54,11 +54,12 @@ FdCache::Handle FdCache::acquire(ContainerId id,
   opens_.fetch_add(1, std::memory_order_relaxed);
   auto holder = std::make_shared<Handle::Holder>(
       fd, static_cast<std::uint64_t>(st.st_size), direct);
-  if (capacity_ > 0) {
-    std::lock_guard lock(mu_);
+  {
+    MutexLock lock(mu_);
     // A racing acquire may have inserted the same ID; prefer the existing
-    // entry (ours closes when the returned handle drops).
-    if (!index_.contains(id)) {
+    // entry (ours closes when the returned handle drops). The capacity
+    // check belongs under mu_ too: set_capacity may race this insert.
+    if (capacity_ > 0 && !index_.contains(id)) {
       lru_.emplace_front(id, holder);
       index_[id] = lru_.begin();
       while (lru_.size() > capacity_) {
@@ -71,7 +72,7 @@ FdCache::Handle FdCache::acquire(ContainerId id,
 }
 
 void FdCache::invalidate(ContainerId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (const auto it = index_.find(id); it != index_.end()) {
     lru_.erase(it->second);
     index_.erase(it);
@@ -79,13 +80,13 @@ void FdCache::invalidate(ContainerId id) {
 }
 
 void FdCache::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 void FdCache::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity;
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
@@ -100,7 +101,7 @@ void FdCache::set_direct(bool direct) {
 }
 
 std::size_t FdCache::open_fds() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

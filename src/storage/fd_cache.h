@@ -19,9 +19,9 @@
 #include <filesystem>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "storage/container.h"
 
 namespace hds {
@@ -92,11 +92,16 @@ class FdCache {
   [[nodiscard]] std::size_t open_fds() const;
 
  private:
-  std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{lockrank::kFdCache};
+  std::size_t capacity_ HDS_GUARDED_BY(mu_);
   // Front = most recently used.
-  std::list<std::pair<ContainerId, std::shared_ptr<Handle::Holder>>> lru_;
-  std::unordered_map<ContainerId, decltype(lru_)::iterator> index_;
+  std::list<std::pair<ContainerId, std::shared_ptr<Handle::Holder>>> lru_
+      HDS_GUARDED_BY(mu_);
+  std::unordered_map<
+      ContainerId,
+      std::list<std::pair<ContainerId,
+                          std::shared_ptr<Handle::Holder>>>::iterator>
+      index_ HDS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> opens_{0};
   std::atomic<bool> direct_{false};

@@ -25,14 +25,13 @@
 #include "storage/container_store.h"
 #include "storage/durable.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
 std::filesystem::path fresh_dir(const char* name) {
-  static int counter = 0;
-  const auto dir = std::filesystem::temp_directory_path() /
-                   (std::string(name) + "_" + std::to_string(::getpid()) +
-                    "_" + std::to_string(counter++));
+  const auto dir = hds::testutil::unique_path(name);
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;

@@ -16,11 +16,13 @@
 #include "storage/container_store.h"
 #include "storage/fd_cache.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
 std::filesystem::path fresh_dir(const char* name) {
-  const auto dir = std::filesystem::temp_directory_path() / name;
+  const auto dir = hds::testutil::unique_path(name);
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;

@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "storage/container_store.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -167,7 +169,7 @@ TEST(MemoryContainerStore, PhysicalBytesEqualLogicalBytes) {
 
 namespace {
 std::filesystem::path fresh_dir(const char* name) {
-  const auto dir = std::filesystem::temp_directory_path() / name;
+  const auto dir = hds::testutil::unique_path(name);
   std::filesystem::remove_all(dir);
   return dir;
 }
@@ -271,7 +273,7 @@ TEST(FileContainerStore, LegacyFormat2FileReadsViaSlurp) {
 
 TEST(FileContainerStore, PersistsSerializedFormOnDisk) {
   const auto dir =
-      std::filesystem::temp_directory_path() / "hds_store_disk_check";
+      hds::testutil::unique_path("hds_store_disk_check");
   std::filesystem::remove_all(dir);
   FileContainerStore store(dir);
   const auto id = store.write(make_container(11));

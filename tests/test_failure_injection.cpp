@@ -18,6 +18,8 @@
 #include "verify/fsck.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -137,7 +139,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(FileCorruption, CorruptContainerFileFailsClosed) {
-  const auto dir = fs::temp_directory_path() / "hds_corruption_test";
+  const auto dir = hds::testutil::unique_path("hds_corruption_test");
   fs::remove_all(dir);
 
   const auto versions = generate(3, 200);
@@ -183,7 +185,7 @@ TEST(FileCorruption, CorruptContainerFileFailsClosed) {
 }
 
 TEST(FileCorruption, IntactFilesStillRestoreAlongsideCorruptOnes) {
-  const auto dir = fs::temp_directory_path() / "hds_partial_corruption";
+  const auto dir = hds::testutil::unique_path("hds_partial_corruption");
   fs::remove_all(dir);
 
   const auto versions = generate(3, 300);
@@ -223,13 +225,13 @@ void build_repo(const fs::path& dir) {
 }
 
 TEST(TornFiles, TruncatedStateAtAnyOffsetIsCountedNeverFatal) {
-  const auto pristine = fs::temp_directory_path() / "hds_torn_pristine";
+  const auto pristine = hds::testutil::unique_path("hds_torn_pristine");
   fs::remove_all(pristine);
   build_repo(pristine);
   const auto full_size = fs::file_size(pristine / "state.hds");
 
   for (const double frac : {0.0, 0.1, 0.5, 0.95}) {
-    const auto dir = fs::temp_directory_path() / "hds_torn_state";
+    const auto dir = hds::testutil::unique_path("hds_torn_state");
     fs::remove_all(dir);
     fs::copy(pristine, dir, fs::copy_options::recursive);
     fs::resize_file(dir / "state.hds",
@@ -250,7 +252,7 @@ TEST(TornFiles, TruncatedStateAtAnyOffsetIsCountedNeverFatal) {
 }
 
 TEST(TornFiles, TornStateWithAsideCopyRollsBack) {
-  const auto dir = fs::temp_directory_path() / "hds_torn_aside";
+  const auto dir = hds::testutil::unique_path("hds_torn_aside");
   fs::remove_all(dir);
   build_repo(dir);
 
@@ -278,7 +280,7 @@ TEST(TornFiles, TornStateWithAsideCopyRollsBack) {
 }
 
 TEST(TornFiles, TruncatedContainerFileIsCountedRestoreDamage) {
-  const auto dir = fs::temp_directory_path() / "hds_torn_container";
+  const auto dir = hds::testutil::unique_path("hds_torn_container");
   fs::remove_all(dir);
   build_repo(dir);
 
@@ -316,7 +318,7 @@ TEST(TornFiles, TruncatedContainerFileIsCountedRestoreDamage) {
 }
 
 TEST(TornFiles, TruncatedManifestIsQuarantinedAndRebuilt) {
-  const auto dir = fs::temp_directory_path() / "hds_torn_manifest";
+  const auto dir = hds::testutil::unique_path("hds_torn_manifest");
   fs::remove_all(dir);
   build_repo(dir);
   fs::resize_file(dir / Manifest::kFileName, 8);

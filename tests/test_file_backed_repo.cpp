@@ -12,19 +12,14 @@
 #include "verify/fsck.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
 namespace fs = std::filesystem;
 
-struct TempDir {
-  fs::path path;
-  explicit TempDir(const char* name)
-      : path(fs::temp_directory_path() / name) {
-    fs::remove_all(path);
-  }
-  ~TempDir() { fs::remove_all(path); }
-};
+using hds::testutil::TempDir;
 
 std::vector<VersionStream> generate(std::uint32_t versions) {
   auto p = WorkloadProfile::kernel();

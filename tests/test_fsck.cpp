@@ -17,6 +17,8 @@
 #include "verify/invariant.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -24,14 +26,7 @@ namespace fs = std::filesystem;
 using verify::FsckReport;
 using verify::Invariant;
 
-struct TempDir {
-  fs::path path;
-  explicit TempDir(const char* name)
-      : path(fs::temp_directory_path() / name) {
-    fs::remove_all(path);
-  }
-  ~TempDir() { fs::remove_all(path); }
-};
+using hds::testutil::TempDir;
 
 std::vector<VersionStream> generate(std::uint32_t versions,
                                     std::size_t chunks = 300) {

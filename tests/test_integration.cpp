@@ -16,6 +16,8 @@
 #include "core/hidestore.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -79,7 +81,7 @@ TEST_F(ByteLevelTest, CdcYieldsHighDedupAcrossByteVersions) {
 
 TEST(FileBackedPipeline, RoundTripsThroughRealFiles) {
   const auto dir =
-      std::filesystem::temp_directory_path() / "hds_integration_store";
+      hds::testutil::unique_path("hds_integration_store");
   std::filesystem::remove_all(dir);
 
   auto profile = WorkloadProfile::kernel();

@@ -1,0 +1,189 @@
+// Lock-rank checker tests (DESIGN.md §14): ranked-order acquisition is
+// clean, inversion and re-entrancy abort, and the hds::Mutex/CondVar
+// wrappers keep the held-stack bookkeeping straight across waits.
+//
+// The lockrank::note_* functions are always compiled, so the checker's
+// logic is testable in any build; the Mutex-integration tests additionally
+// exercise the wired-up path under -DHDS_VERIFY.
+
+#include "common/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hds {
+namespace {
+
+using lockrank::depth;
+using lockrank::note_acquire;
+using lockrank::note_release;
+
+TEST(LockRank, AscendingRanksAreClean) {
+  int a = 0, b = 0, c = 0;
+  ASSERT_EQ(depth(), 0u);
+  note_acquire(lockrank::kQueue, &a);
+  note_acquire(lockrank::kStoreIndex, &b);
+  note_acquire(lockrank::kObsTracer, &c);
+  EXPECT_EQ(depth(), 3u);
+  note_release(&c);
+  note_release(&b);
+  note_release(&a);
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(LockRank, OutOfOrderReleaseIsClean) {
+  int a = 0, b = 0;
+  note_acquire(lockrank::kQueue, &a);
+  note_acquire(lockrank::kObsTracer, &b);
+  note_release(&a);  // release the outer lock first: legal
+  EXPECT_EQ(depth(), 1u);
+  note_release(&b);
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(LockRank, UnrankedIsOrderExempt) {
+  int a = 0, b = 0, c = 0;
+  note_acquire(lockrank::kQueue, &a);
+  // An unranked mutex may be taken under anything...
+  note_acquire(lockrank::kUnranked, &b);
+  // ...and a later ranked acquisition ignores it (only the ranked locks
+  // still held — here kQueue — constrain the order).
+  note_acquire(lockrank::kObsTracer, &c);
+  note_release(&c);
+  note_release(&b);
+  note_release(&a);
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(LockRankDeath, InversionAborts) {
+  int a = 0, b = 0;
+  EXPECT_DEATH(
+      {
+        note_acquire(lockrank::kObsTracer, &a);
+        note_acquire(lockrank::kQueue, &b);  // 25 under 70: inversion
+      },
+      "inversion");
+}
+
+TEST(LockRankDeath, EqualRankAborts) {
+  int a = 0, b = 0;
+  EXPECT_DEATH(
+      {
+        note_acquire(lockrank::kQueue, &a);
+        note_acquire(lockrank::kQueue, &b);  // two queue locks nested
+      },
+      "inversion");
+}
+
+TEST(LockRankDeath, ReentrancyAborts) {
+  int a = 0;
+  EXPECT_DEATH(
+      {
+        note_acquire(lockrank::kQueue, &a);
+        note_acquire(lockrank::kQueue, &a);  // same mutex twice
+      },
+      "re-entrant");
+}
+
+TEST(LockRankDeath, UnrankedReentrancyStillAborts) {
+  int a = 0;
+  EXPECT_DEATH(
+      {
+        note_acquire(lockrank::kUnranked, &a);
+        note_acquire(lockrank::kUnranked, &a);
+      },
+      "re-entrant");
+}
+
+TEST(LockRankDeath, ReleasingUnheldAborts) {
+  int a = 0;
+  EXPECT_DEATH(note_release(&a), "not held");
+}
+
+TEST(LockRank, HeldStackIsPerThread) {
+  int a = 0;
+  note_acquire(lockrank::kObsTracer, &a);
+  std::thread other([] {
+    // This thread holds nothing: a low rank is fine here even though the
+    // spawning thread holds rank 70.
+    int b = 0;
+    note_acquire(lockrank::kQueue, &b);
+    EXPECT_EQ(depth(), 1u);
+    note_release(&b);
+  });
+  other.join();
+  EXPECT_EQ(depth(), 1u);
+  note_release(&a);
+}
+
+// --- Wrapper integration: only meaningful when Mutex calls the checker ---
+
+#if defined(HDS_VERIFY)
+
+TEST(MutexRank, WiredIntoMutexLock) {
+  Mutex low(lockrank::kQueue);
+  Mutex high(lockrank::kObsTracer);
+  {
+    MutexLock l1(low);
+    EXPECT_EQ(depth(), 1u);
+    MutexLock l2(high);
+    EXPECT_EQ(depth(), 2u);
+  }
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(MutexRank, ManualUnlockRelockTracked) {
+  Mutex mu(lockrank::kQueue);
+  MutexLock lock(mu);
+  EXPECT_EQ(depth(), 1u);
+  lock.unlock();
+  EXPECT_EQ(depth(), 0u);
+  lock.lock();
+  EXPECT_EQ(depth(), 1u);
+  lock.unlock();
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(MutexRank, TryLockTracked) {
+  Mutex mu(lockrank::kQueue);
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_EQ(depth(), 1u);
+  mu.unlock();
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(MutexRank, CondVarWaitKeepsBookkeeping) {
+  Mutex mu(lockrank::kQueue);
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    // Reacquired after the wait: exactly one lock held again.
+    EXPECT_EQ(depth(), 1u);
+  }
+  waker.join();
+  EXPECT_EQ(depth(), 0u);
+}
+
+TEST(MutexRankDeath, InversionThroughMutexAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex high(lockrank::kObsTracer);
+        Mutex low(lockrank::kQueue);
+        MutexLock l1(high);
+        MutexLock l2(low);
+      },
+      "inversion");
+}
+
+#endif  // HDS_VERIFY
+
+}  // namespace
+}  // namespace hds

@@ -11,6 +11,8 @@
 #include "core/hidestore.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -45,9 +47,8 @@ TEST_P(ModelFuzzTest, RandomOperationSequencesMatchTheModel) {
   VersionId oldest_alive = 1;
 
   const auto dir =
-      fs::temp_directory_path() /
-      ("hds_model_fuzz_" + std::to_string(seed) + "_" +
-       std::to_string(window));
+      hds::testutil::unique_path("hds_model_fuzz_" + std::to_string(seed) +
+                                 "_" + std::to_string(window));
   fs::remove_all(dir);
 
   const int steps = 60;

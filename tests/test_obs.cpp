@@ -18,6 +18,8 @@
 #include "restore/basic_caches.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -268,7 +270,7 @@ TEST(Tracer, NullTracerSpansAreNoOps) {
 TEST(Tracer, DumpWritesLoadableFile) {
   obs::Tracer tracer;
   { obs::Span s = tracer.span("phase \"quoted\"\n"); }
-  const auto path = std::filesystem::temp_directory_path() / "hds_trace.json";
+  const auto path = hds::testutil::unique_path("hds_trace.json");
   ASSERT_TRUE(tracer.dump(path));
   std::ifstream in(path);
   std::string text((std::istreambuf_iterator<char>(in)),
@@ -311,7 +313,7 @@ TEST(Logger, ReadsHdsLogFromEnvironment) {
 
 TEST(Logger, FormatsKeyValueLine) {
   const auto path =
-      std::filesystem::temp_directory_path() / "hds_log_capture.txt";
+      hds::testutil::unique_path("hds_log_capture.txt");
   std::FILE* sink = std::fopen(path.string().c_str(), "w+");
   ASSERT_NE(sink, nullptr);
   obs::Logger logger(obs::LogLevel::kInfo);

@@ -10,19 +10,14 @@
 #include "core/hidestore.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
 namespace fs = std::filesystem;
 
-struct TempDir {
-  fs::path path;
-  explicit TempDir(const char* name)
-      : path(fs::temp_directory_path() / name) {
-    fs::remove_all(path);
-  }
-  ~TempDir() { fs::remove_all(path); }
-};
+using hds::testutil::TempDir;
 
 std::vector<VersionStream> generate(WorkloadProfile p) {
   VersionChainGenerator gen(p);

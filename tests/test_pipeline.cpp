@@ -11,6 +11,8 @@
 #include "restore/faa.h"
 #include "workload/generator.h"
 
+#include "util/temp_dir.h"
+
 namespace hds {
 namespace {
 
@@ -247,7 +249,7 @@ TEST(Pipeline, MetadataOnlyModeMatchesIoCounts) {
 
 TEST(Pipeline, FileStoreRangeRestoreUsesPartialReads) {
   const auto dir =
-      std::filesystem::temp_directory_path() / "hds_pipeline_partial";
+      hds::testutil::unique_path("hds_pipeline_partial");
   std::filesystem::remove_all(dir);
   DedupPipeline sys("ddfs-file", std::make_unique<FullIndex>(),
                     std::make_unique<NoRewrite>(),

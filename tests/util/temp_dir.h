@@ -1,0 +1,45 @@
+// Test-only temp-dir helper: unique, self-cleaning directories.
+//
+// ctest runs the suite with -j, so two binaries (or two runs racing a
+// leftover) must never share a scratch path. Every name gets a pid +
+// process-local-counter suffix, the fix test_container_store.cpp pioneered,
+// now the one way every test names scratch space.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace hds::testutil {
+
+// <system tmp>/<name>_<pid>_<n> — unique per call within a process and
+// across concurrently running test binaries.
+inline std::filesystem::path unique_path(const std::string& name) {
+  static std::atomic<unsigned> counter{0};
+  return std::filesystem::temp_directory_path() /
+         (name + "_" + std::to_string(::getpid()) + "_" +
+          std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+// A unique_path() scratch location, cleared on construction and removed
+// (recursively) on destruction. Deliberately does NOT create the directory
+// — the stores under test own creation, and some tests assert on the
+// not-yet-existing state. Drop-in for the per-file TempDir structs this
+// replaces: same `.path` member, same construct-from-name shape.
+struct TempDir {
+  std::filesystem::path path;
+
+  explicit TempDir(const std::string& name) : path(unique_path(name)) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;  // best effort: never throw from a dtor
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+}  // namespace hds::testutil

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Project rule linter — repo invariants clang-tidy cannot express.
+
+Rules (see README "Static analysis" and DESIGN.md §14):
+
+  raw-write      No raw file writes (std::ofstream / std::fstream / fopen /
+                 freopen) in src/ outside src/storage/durable.cpp. Every
+                 durable write must go through AtomicFileWriter so the
+                 crash-consistency story (DESIGN.md §9) covers it.
+  raw-mutex      No std synchronization primitives (std::mutex,
+                 std::condition_variable, std::lock_guard, ...) in src/
+                 outside src/common/thread_annotations.h. hds::Mutex /
+                 MutexLock / CondVar carry the thread-safety annotations
+                 and the lock-rank bookkeeping; a raw primitive would be
+                 invisible to both.
+  no-detach      No std::thread::detach() anywhere (src/, tests/, bench/,
+                 examples/): a detached thread outlives the state it
+                 touches and cannot be joined at shutdown.
+  naked-new      No naked `new` in src/: every allocation is owned by a
+                 smart pointer in the same statement (make_unique /
+                 make_shared, or unique_ptr(new T(...)) when the
+                 constructor is private).
+  bench-date     Every bench/baselines/*.json must parse and carry a
+                 non-empty context.date — an undated baseline cannot be
+                 judged stale.
+
+Stdlib-only; exits 0 when clean, 1 with one "path:line: [rule] message"
+per finding otherwise. --report writes the findings as JSON (CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+RAW_WRITE_RE = re.compile(r"std::ofstream|std::fstream|\b(?:std::)?f(?:re)?open\s*\(")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+NEW_RE = re.compile(r"\bnew\b")
+SMART_OWNER_RE = re.compile(r"unique_ptr\s*<|shared_ptr\s*<|make_unique|make_shared")
+
+RAW_WRITE_ALLOWED = {Path("src/storage/durable.cpp")}
+RAW_MUTEX_ALLOWED = {Path("src/common/thread_annotations.h")}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    Good enough for token rules: raw strings and escapes are handled, line
+    counts survive because newlines are kept even inside blanked regions.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j  # keep the newline itself
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.extend(c if c == "\n" else " " for c in text[i:j])
+            i = j
+        elif ch == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^(\\\s]{0,16})\(', text[i:])
+            if m:
+                end = text.find(")" + m.group(1) + '"', i)
+                j = n if end < 0 else end + len(m.group(1)) + 2
+                out.extend(c if c == "\n" else " " for c in text[i:j])
+                i = j
+            else:
+                out.append(ch)
+                i += 1
+        elif ch in "\"'":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(ch)
+            out.extend(c if c == "\n" else " " for c in text[i + 1 : j])
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def statement_start(text: str, pos: int) -> int:
+    """Offset just past the previous statement boundary before `pos`."""
+    for j in range(pos - 1, -1, -1):
+        if text[j] in ";{}":
+            return j + 1
+        # Preprocessor line or label: a newline after one also bounds.
+    return 0
+
+
+def iter_cxx_files(root: Path, subdirs: list[str]):
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                yield path
+
+
+def check_tree(root: Path) -> list[dict]:
+    findings: list[dict] = []
+
+    def add(path: Path, line: int, rule: str, message: str) -> None:
+        findings.append(
+            {
+                "path": str(path.relative_to(root)),
+                "line": line,
+                "rule": rule,
+                "message": message,
+            }
+        )
+
+    for path in iter_cxx_files(root, ["src"]):
+        rel = path.relative_to(root)
+        text = strip_comments_and_strings(path.read_text(errors="replace"))
+
+        if rel not in RAW_WRITE_ALLOWED:
+            for m in RAW_WRITE_RE.finditer(text):
+                add(
+                    path,
+                    line_of(text, m.start()),
+                    "raw-write",
+                    f"raw file write '{m.group(0).strip()}' — write through "
+                    "durable::AtomicFileWriter (src/storage/durable.h)",
+                )
+        if rel not in RAW_MUTEX_ALLOWED:
+            for m in RAW_MUTEX_RE.finditer(text):
+                add(
+                    path,
+                    line_of(text, m.start()),
+                    "raw-mutex",
+                    f"raw '{m.group(0)}' — use hds::Mutex / MutexLock / "
+                    "CondVar (src/common/thread_annotations.h)",
+                )
+        for m in NEW_RE.finditer(text):
+            stmt = text[statement_start(text, m.start()) : m.start()]
+            if SMART_OWNER_RE.search(stmt):
+                continue  # owned by a smart pointer in the same statement
+            add(
+                path,
+                line_of(text, m.start()),
+                "naked-new",
+                "naked 'new' — wrap in make_unique/make_shared (or a "
+                "unique_ptr in the same statement for private constructors)",
+            )
+
+    for path in iter_cxx_files(root, ["src", "tests", "bench", "examples"]):
+        text = strip_comments_and_strings(path.read_text(errors="replace"))
+        for m in DETACH_RE.finditer(text):
+            add(
+                path,
+                line_of(text, m.start()),
+                "no-detach",
+                "thread detach() — join every thread you start",
+            )
+
+    baselines = root / "bench" / "baselines"
+    if baselines.is_dir():
+        for path in sorted(baselines.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as err:
+                add(path, 1, "bench-date", f"unparseable baseline: {err}")
+                continue
+            date = (data.get("context") or {}).get("date", "")
+            if not str(date).strip():
+                add(
+                    path,
+                    1,
+                    "bench-date",
+                    "baseline has no context.date — regenerate it with the "
+                    "benchmark binary (dates make staleness auditable)",
+                )
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's parent's parent)",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None, help="write findings JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    findings = check_tree(args.root.resolve())
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}")
+
+    if args.report is not None:
+        args.report.write_text(
+            json.dumps({"findings": findings, "count": len(findings)}, indent=2)
+            + "\n"
+        )
+
+    if findings:
+        print(f"check_rules: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_rules: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

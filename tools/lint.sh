@@ -12,6 +12,12 @@ set -u
 
 build_dir="${1:-build}"
 
+# Project rule linter first (tools/check_rules.py): pure stdlib Python, so
+# it runs — and gates — even on toolchains without clang-tidy.
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+echo "lint: project rules (tools/check_rules.py)"
+python3 "${script_dir}/check_rules.py" || exit 1
+
 if [ ! -f "${build_dir}/compile_commands.json" ]; then
   echo "lint: ${build_dir}/compile_commands.json not found" \
        "(configure with cmake first)" >&2
