@@ -30,6 +30,21 @@
 //   hds_tool serve-metrics <repo> [--port=N]     serve /metrics (Prometheus),
 //                                                /profiles and /healthz on
 //                                                127.0.0.1 until Ctrl-C
+//   hds_tool serve <repo> [--port=N] [--max-sessions=N]
+//                  [--pending-sessions=N] [--tenant-quota-mb=N]
+//                  [--metrics-port=N]            multi-tenant service: accept
+//                                                concurrent backup/restore/
+//                                                list/stats/fsck sessions
+//                                                over a loopback socket, one
+//                                                namespace per tenant over a
+//                                                shared container store
+//                                                (DESIGN.md §15)
+//   hds_tool client ping --port=N                serve-protocol client mode
+//   hds_tool client backup <tenant> <file-or-dir> --port=N
+//   hds_tool client restore <tenant> <version|latest> <outfile> --port=N
+//   hds_tool client list|stats|fsck <tenant> --port=N
+//                                                (exit 0 ok, 1 error,
+//                                                3 busy/over-quota)
 //
 // Every command runs crash recovery on open: an interrupted backup rolls
 // back to the last committed version, with a one-line notice on stderr
@@ -90,6 +105,7 @@
 #include "chunking/chunk_stream.h"
 #include "chunking/parallel_chunk.h"
 #include "chunking/tttd.h"
+#include "common/parse.h"
 #include "core/hidestore.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
@@ -97,6 +113,8 @@
 #include "obs/trace.h"
 #include "restore/faa.h"
 #include "restore/tuner.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "storage/async_io.h"
 #include "storage/durable.h"
 #include "verify/fsck.h"
@@ -189,6 +207,11 @@ int usage() {
                "usage: hds_tool init|backup|list|restore|expire|flatten|"
                "files|restore-file|stats|fsck|recover|profile|serve-metrics "
                "<repo> [args]\n"
+               "       hds_tool serve <repo> [--port=N] [--max-sessions=N] "
+               "[--pending-sessions=N]\n"
+               "                [--tenant-quota-mb=N] [--metrics-port=N]\n"
+               "       hds_tool client ping|backup|restore|list|stats|fsck "
+               "[<tenant> ...] --port=N\n"
                "       [--metrics-out=<file>] [--trace-out=<file>] "
                "[--profile-out=<file>]\n"
                "       [--json] [--threads=N] [--port=N]\n"
@@ -199,6 +222,34 @@ int usage() {
                "       (restore accepts `all <outprefix>` to write every "
                "version)\n");
   return 2;
+}
+
+// Checked numeric-flag parsing: rejects garbage, trailing junk and
+// out-of-range values instead of strtoul's silent 0 / wraparound, and exits
+// with the usage status so a typo cannot quietly select a default.
+std::uint64_t parse_flag_uint(const std::string& arg, std::size_t prefix_len,
+                              std::uint64_t max) {
+  const auto value = hds::parse_uint(
+      std::string_view(arg).substr(prefix_len), max);
+  if (!value.has_value()) {
+    std::fprintf(stderr,
+                 "error: %.*s wants an unsigned integer <= %llu, got '%s'\n",
+                 static_cast<int>(prefix_len - 1), arg.c_str(),
+                 static_cast<unsigned long long>(max),
+                 arg.c_str() + prefix_len);
+    std::exit(2);
+  }
+  return *value;
+}
+
+// Positional version-number arguments get the same checked parse.
+std::optional<VersionId> parse_version_arg(const char* text) {
+  const auto value = hds::parse_uint(text, UINT32_MAX);
+  if (!value.has_value()) {
+    std::fprintf(stderr, "error: '%s' is not a version number\n", text);
+    return std::nullopt;
+  }
+  return static_cast<VersionId>(*value);
 }
 
 struct ObsOptions {
@@ -217,6 +268,12 @@ struct ObsOptions {
   std::size_t io_depth = 0;
   bool direct_io = false;
   bool auto_tune = false;
+  // serve mode.
+  std::size_t max_sessions = 4;
+  std::size_t pending_sessions = 0;  // 0 = 2 * max_sessions
+  std::uint64_t tenant_quota_mb = 0;  // 0 = unlimited
+  std::uint16_t metrics_port = 0;
+  bool metrics_port_set = false;
 };
 
 // --- Per-operation profile history (<repo>/profiles.jsonl) ---
@@ -331,13 +388,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      options.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+      options.threads =
+          static_cast<std::size_t>(parse_flag_uint(arg, 10, 4096));
     } else if (arg.rfind("--port=", 0) == 0) {
-      options.port =
-          static_cast<std::uint16_t>(std::strtoul(arg.c_str() + 7, nullptr,
-                                                  10));
+      options.port = static_cast<std::uint16_t>(parse_flag_uint(arg, 7,
+                                                                65535));
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      options.metrics_port =
+          static_cast<std::uint16_t>(parse_flag_uint(arg, 15, 65535));
+      options.metrics_port_set = true;
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      options.max_sessions =
+          static_cast<std::size_t>(parse_flag_uint(arg, 15, 1024));
+    } else if (arg.rfind("--pending-sessions=", 0) == 0) {
+      options.pending_sessions =
+          static_cast<std::size_t>(parse_flag_uint(arg, 19, 65536));
+    } else if (arg.rfind("--tenant-quota-mb=", 0) == 0) {
+      options.tenant_quota_mb = parse_flag_uint(arg, 18, 1ull << 30);
     } else if (arg.rfind("--block-cache-mb=", 0) == 0) {
-      options.block_cache_mb = std::strtoul(arg.c_str() + 17, nullptr, 10);
+      options.block_cache_mb =
+          static_cast<std::size_t>(parse_flag_uint(arg, 17, 1ull << 20));
     } else if (arg == "--no-partial-reads") {
       options.no_partial_reads = true;
     } else if (arg.rfind("--io-backend=", 0) == 0) {
@@ -351,7 +421,8 @@ int main(int argc, char** argv) {
       options.io_backend = *parsed;
       options.io_backend_set = true;
     } else if (arg.rfind("--io-depth=", 0) == 0) {
-      options.io_depth = std::strtoul(arg.c_str() + 11, nullptr, 10);
+      options.io_depth =
+          static_cast<std::size_t>(parse_flag_uint(arg, 11, 4096));
     } else if (arg == "--direct-io") {
       options.direct_io = true;
     } else if (arg == "--auto-tune") {
@@ -384,6 +455,152 @@ int main(int argc, char** argv) {
     std::printf("initialized empty repository at %s\n",
                 repo.string().c_str());
     return 0;
+  }
+
+  if (command == "serve") {
+    // Block SIGINT/SIGTERM before any thread spawns so every thread
+    // inherits the mask and sigwait() below is the only consumer.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    service::ServeConfig serve_config;
+    serve_config.repo = repo;
+    serve_config.port = options.port;
+    serve_config.max_sessions = options.max_sessions;
+    serve_config.pending_sessions = options.pending_sessions == 0
+                                        ? 2 * options.max_sessions
+                                        : options.pending_sessions;
+    serve_config.tenant_quota_bytes = options.tenant_quota_mb * (1ull << 20);
+    if (options.block_cache_mb != SIZE_MAX) {
+      serve_config.tenant_config.io_tuning.block_cache_bytes =
+          options.block_cache_mb * (1 << 20);
+    }
+    serve_config.tenant_config.io_tuning.partial_reads =
+        !options.no_partial_reads;
+    serve_config.tenant_config.io_tuning.io_backend = options.io_backend;
+    serve_config.tenant_config.io_tuning.io_depth = options.io_depth;
+    serve_config.tenant_config.io_tuning.direct_io = options.direct_io;
+    service::ServeServer server(serve_config);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    obs::HttpServer http(options.metrics_port);
+    if (options.metrics_port_set) {
+      http.route("/metrics", [&server] {
+        obs::HttpServer::Response resp;
+        server.refresh_metrics();
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = server.metrics().to_prometheus();
+        return resp;
+      });
+      http.route("/healthz", [] {
+        obs::HttpServer::Response resp;
+        resp.content_type = "application/json";
+        resp.body = "{\"status\":\"ok\"}\n";
+        return resp;
+      });
+      if (!http.start()) {
+        std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%u: %s\n",
+                     options.metrics_port, std::strerror(errno));
+        return 1;
+      }
+      std::printf("metrics on http://127.0.0.1:%u/metrics\n", http.port());
+    }
+    std::printf("serving tenants on 127.0.0.1:%u (%zu session slots) — "
+                "SIGTERM/Ctrl-C stops\n",
+                server.port(), options.max_sessions);
+    std::fflush(stdout);
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    if (options.metrics_port_set) http.stop();
+    server.stop();
+    std::printf("stopped\n");
+    return 0;
+  }
+
+  if (command == "client") {
+    // args[1] is the sub-operation, not a repository.
+    const std::string op = args[1];
+    if (options.port == 0) {
+      std::fprintf(stderr, "error: client mode needs --port=N\n");
+      return usage();
+    }
+    service::ServeClient client;
+    if (!client.connect(options.port)) {
+      std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%u\n",
+                   options.port);
+      return 1;
+    }
+    service::Request req;
+    std::string outfile;
+    if (op == "ping") {
+      req.op = service::Op::kPing;
+    } else if (op == "backup") {
+      if (args.size() < 4) return usage();
+      req.op = service::Op::kBackup;
+      req.tenant = args[2];
+      const fs::path source = args[3];
+      if (!fs::exists(source)) {
+        std::fprintf(stderr, "error: no such file or directory: %s\n",
+                     source.string().c_str());
+        return 1;
+      }
+      std::vector<CatalogEntry> ignored;
+      req.data = snapshot_source(source, ignored);
+      req.label = source.string();
+    } else if (op == "restore") {
+      if (args.size() < 5) return usage();
+      req.op = service::Op::kRestore;
+      req.tenant = args[2];
+      if (args[3] != "latest") {
+        const auto version = parse_version_arg(args[3].c_str());
+        if (!version.has_value()) return usage();
+        req.version = *version;
+      }
+      outfile = args[4];
+    } else if (op == "list" || op == "stats" || op == "fsck") {
+      if (args.size() < 3) return usage();
+      req.op = op == "list" ? service::Op::kList
+               : op == "stats" ? service::Op::kStats
+                               : service::Op::kFsck;
+      req.tenant = args[2];
+    } else {
+      std::fprintf(stderr, "error: unknown client operation '%s'\n",
+                   op.c_str());
+      return usage();
+    }
+    const auto resp = client.call(req);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "error: server connection failed\n");
+      return 1;
+    }
+    if (!resp->message.empty()) {
+      std::fprintf(resp->status == service::Status::kOk ? stdout : stderr,
+                   "%s\n", resp->message.c_str());
+    }
+    if (resp->status == service::Status::kOk && !outfile.empty()) {
+      std::ofstream out(outfile, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(resp->data.data()),
+                static_cast<std::streamsize>(resp->data.size()));
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "error: short write to %s\n", outfile.c_str());
+        return 1;
+      }
+    } else if (!resp->data.empty()) {
+      std::fwrite(resp->data.data(), 1, resp->data.size(), stdout);
+    }
+    switch (resp->status) {
+      case service::Status::kOk: return 0;
+      case service::Status::kError: return 1;
+      case service::Status::kBusy:
+      case service::Status::kQuotaExceeded: return 3;
+    }
+    return 1;
   }
 
   RecoveryReport recovery;
@@ -635,18 +852,18 @@ int main(int argc, char** argv) {
       }
       return worst;
     }
-    const int rc_one = restore_one(
-        static_cast<VersionId>(std::strtoul(arg_at(2), nullptr, 10)),
-        arg_at(3));
+    const auto version = parse_version_arg(arg_at(2));
+    if (!version.has_value()) return usage();
+    const int rc_one = restore_one(*version, arg_at(3));
     tune_after_restore();
     return rc_one;
   }
 
   if (command == "expire") {
     if (args.size() < 3) return usage();
-    const auto upto = static_cast<VersionId>(std::strtoul(arg_at(2), nullptr,
-                                                          10));
-    const auto report = sys->delete_versions_up_to(upto);
+    const auto upto = parse_version_arg(arg_at(2));
+    if (!upto.has_value()) return usage();
+    const auto report = sys->delete_versions_up_to(*upto);
     sys->save(repo);
     std::printf("expired %zu versions: %zu containers erased, %.2f MB "
                 "reclaimed, %llu chunks scanned\n",
@@ -658,8 +875,9 @@ int main(int argc, char** argv) {
 
   if (command == "files") {
     if (args.size() < 3) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
-                                                             nullptr, 10));
+    const auto parsed = parse_version_arg(arg_at(2));
+    if (!parsed.has_value()) return usage();
+    const VersionId version = *parsed;
     const auto catalog = load_catalog(repo);
     const auto* files = catalog.files(version);
     if (files == nullptr) {
@@ -676,8 +894,9 @@ int main(int argc, char** argv) {
 
   if (command == "restore-file") {
     if (args.size() < 5) return usage();
-    const auto version = static_cast<VersionId>(std::strtoul(arg_at(2),
-                                                             nullptr, 10));
+    const auto parsed = parse_version_arg(arg_at(2));
+    if (!parsed.has_value()) return usage();
+    const VersionId version = *parsed;
     const auto catalog = load_catalog(repo);
     const auto entry = catalog.find(version, arg_at(3));
     if (!entry) {

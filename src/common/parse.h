@@ -1,0 +1,32 @@
+// Strict unsigned-integer parsing for CLI flags and positional arguments.
+//
+// std::strtoul is the wrong tool for operator input: it accepts leading
+// whitespace and signs, silently stops at the first non-digit ("--threads=abc"
+// becomes 0, "--port=80x" becomes 80) and wraps out-of-range values through
+// errno nobody checks ("--port=99999" becomes 34463). parse_uint accepts
+// exactly a non-empty run of decimal digits whose value fits in [0, max] —
+// no sign, no whitespace, no base prefix, no trailing junk — and returns
+// nullopt for everything else, so callers must handle bad input explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hds {
+
+[[nodiscard]] constexpr std::optional<std::uint64_t> parse_uint(
+    std::string_view text, std::uint64_t max = UINT64_MAX) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value > max) return std::nullopt;
+  return value;
+}
+
+}  // namespace hds

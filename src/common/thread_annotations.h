@@ -27,6 +27,10 @@
 // order check but still re-entrancy-checked):
 //
 //   rank  mutex                              may be held while acquiring
+//   4     service::TenantRegistry::mu_       tenant op (6) on first open
+//   5     service::ServeServer sessions mu   (leaf)
+//   6     service::Tenant::op_mu             everything below (a whole
+//                                            backup/restore runs under it)
 //   10    ReadAheadFetcher::mu_              obs registry (60), tracer (70)
 //   15    RestoreTuner::mu_                  obs registry (60)
 //   20    ThreadPool::mu_                    (leaf)
@@ -37,6 +41,7 @@
 //   40    container-store index maps         (leaf)
 //   45    FdCache::mu_                       (leaf)
 //   50    BlockCache shard mu                (leaf)
+//   55    obs::HttpServer queue mu           (leaf)
 //   60    obs::MetricsRegistry::mu_          (leaf)
 //   65    obs::OpProfiler::mu_               (leaf)
 //   70    obs::Tracer::mu_                   (leaf, innermost)
@@ -109,6 +114,9 @@ namespace hds::lockrank {
 // One level per mutex class; a thread may only acquire strictly ascending
 // ranks. Gaps are deliberate room for future mutexes.
 inline constexpr int kUnranked = 0;  // order-exempt (still no re-entry)
+inline constexpr int kServiceRegistry = 4;   // service::TenantRegistry::mu_
+inline constexpr int kServiceSessions = 5;   // ServeServer active-fd set
+inline constexpr int kServiceTenant = 6;     // service::Tenant::op_mu
 inline constexpr int kRestorePrefetch = 10;  // ReadAheadFetcher::mu_
 inline constexpr int kRestoreTuner = 15;     // RestoreTuner::mu_
 inline constexpr int kPoolIdle = 20;         // ThreadPool::mu_
@@ -119,6 +127,7 @@ inline constexpr int kIoFault = 35;          // aio fault-injection plan
 inline constexpr int kStoreIndex = 40;       // container-store index maps
 inline constexpr int kFdCache = 45;          // FdCache::mu_
 inline constexpr int kBlockCacheShard = 50;  // BlockCache::Shard::mu
+inline constexpr int kHttpServer = 55;       // obs::HttpServer queue mu
 inline constexpr int kObsRegistry = 60;      // obs::MetricsRegistry::mu_
 inline constexpr int kObsProfiler = 65;      // obs::OpProfiler::mu_
 inline constexpr int kObsTracer = 70;        // obs::Tracer::mu_ (innermost)

@@ -66,12 +66,12 @@ class HiDeStoreFetcher final : public ContainerFetcher {
 }  // namespace
 
 namespace {
-std::unique_ptr<ContainerStore> make_archival_store(
+std::shared_ptr<ContainerStore> make_archival_store(
     const HiDeStoreConfig& config, bool index_existing) {
   if (config.storage_dir.empty()) {
-    return std::make_unique<MemoryContainerStore>();
+    return std::make_shared<MemoryContainerStore>();
   }
-  return std::make_unique<FileContainerStore>(
+  return std::make_shared<FileContainerStore>(
       config.storage_dir / "archival", index_existing, config.io_tuning);
 }
 }  // namespace
@@ -83,6 +83,24 @@ HiDeStore::HiDeStore(const HiDeStoreConfig& config)
       cache_(config.cache_window) {
   register_metrics();
   store_->attach_metrics(metrics_, "store");
+  pool_.attach_metrics(metrics_);
+  crc_failures_baseline_ = chunk_crc_failures();
+}
+
+HiDeStore::HiDeStore(const HiDeStoreConfig& config,
+                     std::shared_ptr<ContainerStore> shared_store)
+    : config_(config),
+      store_(std::move(shared_store)),
+      shared_store_(true),
+      pool_(config.container_size, config.materialize_contents),
+      cache_(config.cache_window) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("HiDeStore: shared store must not be null");
+  }
+  register_metrics();
+  // Deliberately no store_->attach_metrics(): the shared store belongs to
+  // the service layer, which mirrors it into ONE registry — per-tenant
+  // mirrors would race each other over the same counters.
   pool_.attach_metrics(metrics_);
   crc_failures_baseline_ = chunk_crc_failures();
 }
@@ -133,8 +151,11 @@ void HiDeStore::refresh_gauges() {
       .set(static_cast<double>(cache_.memory_bytes()));
   metrics_.gauge("active_containers")
       .set(static_cast<double>(pool_.container_count()));
+  // Shared store: count THIS tenant's containers (its deletion tags), not
+  // every tenant's — the store-wide total belongs to the service registry.
   metrics_.gauge("archival_containers")
-      .set(static_cast<double>(store_->container_count()));
+      .set(static_cast<double>(shared_store_ ? container_version_.size()
+                                             : store_->container_count()));
   metrics_.gauge("active_pool_bytes")
       .set(static_cast<double>(pool_.used_bytes()));
   metrics_.gauge("versions_retained")
@@ -148,7 +169,9 @@ void HiDeStore::refresh_gauges() {
   if (seen > crc.value()) crc.inc(seen - crc.value());
   // Same diff-mirror for the file store's fast-path counters (monotonic
   // since store construction; metrics are reset when a repository reopens,
-  // right after the store is rebuilt).
+  // right after the store is rebuilt). Skipped for a shared store — its
+  // counters aggregate every tenant and are mirrored once, by the owner.
+  if (shared_store_) return;
   if (const auto* file = dynamic_cast<const FileContainerStore*>(store_.get())) {
     const auto io = file->io_stats();
     const auto mirror = [&](const char* name, std::uint64_t value) {
@@ -659,8 +682,10 @@ std::optional<StateHeader> peek_state_header(
 }  // namespace
 
 void HiDeStore::save(const std::filesystem::path& dir) {
-  const bool inline_archival = config_.storage_dir.empty();
-  if (!inline_archival &&
+  // Shared-store tenants never inline containers (they belong to every
+  // tenant); their storage_dir is the tenant state directory.
+  const bool inline_archival = !shared_store_ && config_.storage_dir.empty();
+  if (!config_.storage_dir.empty() &&
       std::filesystem::weakly_canonical(dir) !=
           std::filesystem::weakly_canonical(config_.storage_dir)) {
     throw std::invalid_argument(
@@ -679,7 +704,9 @@ void HiDeStore::save(const std::filesystem::path& dir) {
   writer.u32(static_cast<std::uint32_t>(config_.cache_window));
   writer.u8(config_.materialize_contents ? 1 : 0);
   writer.u8(config_.flatten_before_restore ? 1 : 0);
-  writer.u8(inline_archival ? 1 : 0);
+  // Archival placement: 0 = file-backed in <dir>/archival, 1 = serialized
+  // inline below, 2 = shared store owned by the service layer.
+  writer.u8(shared_store_ ? 2 : (inline_archival ? 1 : 0));
   writer.u32(next_version_);
   writer.u32(oldest_version_);
   writer.u64(total_logical_bytes_);
@@ -780,7 +807,20 @@ std::unique_ptr<HiDeStore> HiDeStore::load(
 }
 
 std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
-                                           RecoveryReport* report_out) {
+                                           RecoveryReport* report) {
+  return open_impl(dir, nullptr, report);
+}
+
+std::unique_ptr<HiDeStore> HiDeStore::open_shared(
+    const std::filesystem::path& dir,
+    std::shared_ptr<ContainerStore> shared_store, RecoveryReport* report) {
+  if (shared_store == nullptr) return nullptr;
+  return open_impl(dir, std::move(shared_store), report);
+}
+
+std::unique_ptr<HiDeStore> HiDeStore::open_impl(
+    const std::filesystem::path& dir,
+    std::shared_ptr<ContainerStore> shared, RecoveryReport* report_out) {
   RecoveryReport local;
   RecoveryReport& report = report_out != nullptr ? *report_out : local;
   report = RecoveryReport{};
@@ -843,7 +883,7 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
   bool manifest_trusted = false;
 
   if (head != nullptr && matches(state_bytes, *head)) {
-    sys = parse_state(dir, *state_bytes);
+    sys = parse_state(dir, *state_bytes, shared);
     if (sys != nullptr) {
       committed_bytes = &*state_bytes;
       manifest_trusted = true;
@@ -858,7 +898,7 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
     }
   }
   if (sys == nullptr && head != nullptr && matches(prev_bytes, *head)) {
-    sys = parse_state(dir, *prev_bytes);
+    sys = parse_state(dir, *prev_bytes, shared);
     if (sys != nullptr) {
       // Crash between the state rename and the journal commit: state.hds
       // (if present) is an uncommitted version. Quarantine it, promote the
@@ -886,7 +926,7 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
           "no state file matches the MANIFEST head; best-effort open");
     }
     if (state_bytes.has_value()) {
-      sys = parse_state(dir, *state_bytes);
+      sys = parse_state(dir, *state_bytes, shared);
       if (sys != nullptr) {
         committed_bytes = &*state_bytes;
         if (prev_bytes.has_value()) {
@@ -901,7 +941,7 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
       }
     }
     if (sys == nullptr && prev_bytes.has_value()) {
-      sys = parse_state(dir, *prev_bytes);
+      sys = parse_state(dir, *prev_bytes, shared);
       if (sys != nullptr) {
         std::filesystem::rename(prev_path, state_path, ec);
         committed_bytes = &*prev_bytes;
@@ -923,7 +963,12 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
   }
 
   // 4. Reconcile the container directory with the committed deletion tags.
-  if (auto* fstore = dynamic_cast<FileContainerStore*>(sys->store_.get())) {
+  // Skipped for a shared store: one tenant's tags cover only its own
+  // containers, so "untagged" does not mean "orphan" — the service layer
+  // reconciles against the union of every tenant's tags instead.
+  if (auto* fstore = shared == nullptr
+                         ? dynamic_cast<FileContainerStore*>(sys->store_.get())
+                         : nullptr) {
     auto on_disk = fstore->ids();
     std::sort(on_disk.begin(), on_disk.end());
     for (const ContainerId id : on_disk) {
@@ -981,7 +1026,8 @@ std::unique_ptr<HiDeStore> HiDeStore::open(const std::filesystem::path& dir,
 }
 
 std::unique_ptr<HiDeStore> HiDeStore::parse_state(
-    const std::filesystem::path& dir, std::span<const std::uint8_t> bytes) {
+    const std::filesystem::path& dir, std::span<const std::uint8_t> bytes,
+    std::shared_ptr<ContainerStore> shared) {
   if (bytes.size() < 12) return nullptr;
 
   // CRC trailer over the whole body.
@@ -1018,9 +1064,18 @@ std::unique_ptr<HiDeStore> HiDeStore::parse_state(
   config.materialize_contents = materialize != 0;
   config.flatten_before_restore = flatten != 0;
   if (config.cache_window != 1 && config.cache_window != 2) return nullptr;
-  if (inline_archival == 0) config.storage_dir = dir;
+  // inline_archival: 0 = file-backed archival under `dir`, 1 = containers
+  // serialized inline (in-memory repo), 2 = shared store owned by a
+  // service. A snapshot written in one mode cannot be opened in the other
+  // — a tenant dir opened as a standalone repo (or vice versa) would wire
+  // the wrong store underneath the deletion tags.
+  if (inline_archival > 2) return nullptr;
+  if ((inline_archival == 2) != (shared != nullptr)) return nullptr;
+  if (inline_archival != 1) config.storage_dir = dir;
 
-  auto sys = std::make_unique<HiDeStore>(config);
+  auto sys = shared != nullptr
+                 ? std::make_unique<HiDeStore>(config, shared)
+                 : std::make_unique<HiDeStore>(config);
   sys->epoch_ = epoch;
   if (inline_archival == 0) {
     // Reopen the on-disk container files and resume the ID counter.
@@ -1056,7 +1111,7 @@ std::unique_ptr<HiDeStore> HiDeStore::parse_state(
     return nullptr;
   }
 
-  if (inline_archival != 0) {
+  if (inline_archival == 1) {
     std::uint32_t archival_count;
     if (!reader.u32(archival_count)) return nullptr;
     for (std::uint32_t i = 0; i < archival_count; ++i) {
@@ -1069,8 +1124,15 @@ std::unique_ptr<HiDeStore> HiDeStore::parse_state(
   }
   std::uint32_t store_next;
   if (!reader.u32(store_next) || !reader.exhausted()) return nullptr;
-  sys->store_->restore_next_id(static_cast<ContainerId>(store_next));
-  sys->store_->reset_stats();
+  if (shared != nullptr) {
+    // The shared counter is the max over every tenant's snapshot — raise
+    // it, never lower it, and leave the shared stats alone (they aggregate
+    // all tenants and belong to the service).
+    sys->store_->bump_next_id(static_cast<ContainerId>(store_next));
+  } else {
+    sys->store_->restore_next_id(static_cast<ContainerId>(store_next));
+    sys->store_->reset_stats();
+  }
 
   // Rebuild the fingerprint cache by prefetching the newest recipes — the
   // paper's §4.1 mechanism ("the metadata of CV in the recipe is prefetched

@@ -85,6 +85,20 @@ class HiDeStore final : public BackupSystem {
  public:
   explicit HiDeStore(const HiDeStoreConfig& config = {});
 
+  // Multi-tenant mode (src/service/): this system's archival containers
+  // live in `shared_store`, owned by the caller and shared with other
+  // tenants. All per-tenant state (double cache, active pool, recipes,
+  // deletion tags) stays private to this instance; the shared store is only
+  // ever touched through its thread-safe surface (reserve_id/put/read/
+  // erase). config.storage_dir should name the tenant's own state
+  // directory (save()/open_shared() keep state.hds + MANIFEST there);
+  // save() never serializes shared containers inline. The §4.5 deletion
+  // tags double as the tenant's ownership set: delete_versions_up_to()
+  // erases only containers this tenant tagged, so tenants cannot reclaim
+  // each other's data.
+  HiDeStore(const HiDeStoreConfig& config,
+            std::shared_ptr<ContainerStore> shared_store);
+
   BackupReport backup(const VersionStream& stream) override;
   RestoreReport restore(VersionId version, const ChunkSink& sink) override;
   RestoreReport restore_with(VersionId version, RestorePolicy& policy,
@@ -154,6 +168,18 @@ class HiDeStore final : public BackupSystem {
   // Equivalent to open(dir) discarding the report; kept as the historical
   // entry point.
   static std::unique_ptr<HiDeStore> load(const std::filesystem::path& dir);
+  // open() for a tenant saved in shared-store mode: per-tenant state is
+  // recovered from `dir` exactly like open(), but archival containers
+  // resolve against `shared_store` (which must already index them). The
+  // store's ID counter is bumped to at least this tenant's watermark,
+  // never lowered — other tenants may have reserved past it. Orphan
+  // reconciliation against the container directory is NOT run here (an
+  // untagged container may belong to another tenant); the service layer
+  // reconciles with the union of all tenants' tags instead.
+  static std::unique_ptr<HiDeStore> open_shared(
+      const std::filesystem::path& dir,
+      std::shared_ptr<ContainerStore> shared_store,
+      RecoveryReport* report = nullptr);
   // Journal epoch of the last committed save (0 = never saved).
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
@@ -201,6 +227,11 @@ class HiDeStore final : public BackupSystem {
   // (fsck). Normal operation never needs this.
   [[nodiscard]] RecipeStore& mutable_recipes() noexcept { return recipes_; }
   [[nodiscard]] ContainerStore& archival_store() noexcept { return *store_; }
+  // True when the archival store is shared with other tenants (fsck relaxes
+  // whole-store walks to this tenant's tagged containers).
+  [[nodiscard]] bool shared_archival() const noexcept {
+    return shared_store_;
+  }
   [[nodiscard]] const ActiveContainerPool& active_pool() const noexcept {
     return pool_;
   }
@@ -230,9 +261,17 @@ class HiDeStore final : public BackupSystem {
 
  private:
   // Deserializes one state snapshot into a fresh system; nullptr on any
-  // corruption or format mismatch. open() picks which snapshot to trust.
+  // corruption or format mismatch (including a shared-mode snapshot with no
+  // `shared` store supplied, and vice versa). open()/open_shared() pick
+  // which snapshot to trust.
   static std::unique_ptr<HiDeStore> parse_state(
-      const std::filesystem::path& dir, std::span<const std::uint8_t> bytes);
+      const std::filesystem::path& dir, std::span<const std::uint8_t> bytes,
+      std::shared_ptr<ContainerStore> shared);
+
+  // Common recovery walk behind open() and open_shared().
+  static std::unique_ptr<HiDeStore> open_impl(
+      const std::filesystem::path& dir,
+      std::shared_ptr<ContainerStore> shared, RecoveryReport* report);
 
   // Pre-registers every metric name so exporters always show the complete
   // set (in particular `index_disk_lookups` at 0 — the §4.1 claim).
@@ -258,7 +297,10 @@ class HiDeStore final : public BackupSystem {
                    std::size_t* hops) const;
 
   HiDeStoreConfig config_;
-  std::unique_ptr<ContainerStore> store_;  // archival containers
+  // Archival containers. Uniquely owned in the classic single-tenant setup;
+  // shared across tenants in service mode (shared_store_ == true).
+  std::shared_ptr<ContainerStore> store_;
+  bool shared_store_ = false;
   ActiveContainerPool pool_;
   DoubleHashFingerprintCache cache_;
   RecipeStore recipes_;

@@ -12,18 +12,27 @@ namespace hds::obs {
 
 namespace {
 
+// Upper bound on accepted-but-unserved connections; beyond it new arrivals
+// get a 503 and a close. Keeps a worker-pool stall from hoarding fds.
+constexpr std::size_t kPendingCap = 32;
+
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
-    case 400: return "Bad Request";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
 
 // Sends the whole buffer, tolerating partial writes; MSG_NOSIGNAL so a
-// scraper that hangs up mid-response does not SIGPIPE the process.
+// scraper that hangs up mid-response does not SIGPIPE the process. A peer
+// that stops reading trips SO_SNDTIMEO and surfaces as EAGAIN/EWOULDBLOCK
+// — treated as peer-gone, exactly like a reset, so a stalled reader can
+// hold a worker for at most one timeout.
 void send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -31,7 +40,7 @@ void send_all(int fd, std::string_view data) {
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // peer gone; nothing sensible to do
+      return;  // peer gone or stalled past the send timeout
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -39,7 +48,8 @@ void send_all(int fd, std::string_view data) {
 
 }  // namespace
 
-HttpServer::HttpServer(std::uint16_t port) : port_(port) {}
+HttpServer::HttpServer(std::uint16_t port, std::size_t workers)
+    : port_(port), worker_count_(workers == 0 ? 1 : workers) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -71,34 +81,86 @@ bool HttpServer::start() {
       0) {
     port_ = ntohs(addr.sin_port);
   }
+  {
+    MutexLock lock(mu_);
+    closed_ = false;  // a stopped server may be started again
+  }
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { serve_loop(); });
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
+    if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
   // shutdown() unblocks the accept(); close() releases the port.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;  // only after the join: the accept loop reads this field
+  // Release the workers: close the queue, drop connections nobody served.
+  std::deque<int> orphans;
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+    orphans.swap(pending_);
+    queue_cv_.notify_all();
+  }
+  for (const int fd : orphans) ::close(fd);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
-void HttpServer::serve_loop() {
+void HttpServer::accept_loop() {
   while (running()) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by stop()
     }
-    // A stalled client must not wedge the scrape loop.
+    // A stalled client must hold a worker for at most one timeout in
+    // either direction (read the request / drain the response).
     timeval tv{};
     tv.tv_sec = 2;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    bool queued = false;
+    {
+      MutexLock lock(mu_);
+      if (!closed_ && pending_.size() < kPendingCap) {
+        pending_.push_back(fd);
+        queued = true;
+        queue_cv_.notify_one();
+      }
+    }
+    if (!queued) {
+      send_all(fd,
+               "HTTP/1.1 503 Service Unavailable\r\n"
+               "Content-Type: text/plain; charset=utf-8\r\n"
+               "Content-Length: 5\r\nConnection: close\r\n\r\nbusy\n");
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && pending_.empty()) queue_cv_.wait(mu_);
+      if (pending_.empty()) return;  // closed and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
     handle_connection(fd);
     ::close(fd);
   }
@@ -107,9 +169,10 @@ void HttpServer::serve_loop() {
 void HttpServer::handle_connection(int fd) {
   // Read until the end of headers (or a sane cap): GET requests carry no
   // body, and only the request line matters to us.
+  constexpr std::size_t kRequestCap = 16 * 1024;
   std::string request;
   char buf[2048];
-  while (request.size() < 16 * 1024 &&
+  while (request.size() < kRequestCap &&
          request.find("\r\n\r\n") == std::string::npos &&
          request.find("\n\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
@@ -118,12 +181,18 @@ void HttpServer::handle_connection(int fd) {
   }
 
   Response response;
+  const bool oversized = request.size() >= kRequestCap &&
+                         request.find("\r\n\r\n") == std::string::npos &&
+                         request.find("\n\n") == std::string::npos;
   const auto line_end = request.find_first_of("\r\n");
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
   const auto sp1 = line.find(' ');
   const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+  if (oversized) {
+    response.status = 400;
+    response.body = "request too large\n";
+  } else if (sp1 == std::string::npos || sp2 == std::string::npos) {
     response.status = 400;
     response.body = "bad request\n";
   } else if (line.substr(0, sp1) != "GET") {

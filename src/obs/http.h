@@ -1,6 +1,5 @@
 // Minimal embedded HTTP/1.1 listener — the live metrics surface behind
-// `hds_tool serve-metrics` and the seed of the multi-tenant server mode
-// (ROADMAP item 1).
+// `hds_tool serve-metrics` / `hds_tool serve` (ROADMAP item 1).
 //
 // Scope is deliberately tiny: GET-only, loopback-bound, one request per
 // connection (Connection: close), fixed route table registered before
@@ -8,19 +7,28 @@
 // localhost:PORT/metrics` needs and nothing more; request parsing stops at
 // the first header line, so there is no header attack surface to speak of.
 //
-// Threading: start() spawns one accept thread that serves requests
-// serially. Handlers run on that thread — they must be thread-safe against
-// whatever else the process is doing (the metrics registry and profiler
-// are; see their headers). stop() (or the destructor) shuts the listener
-// down and joins the thread.
+// Threading: start() spawns one accept thread plus a small worker pool.
+// The accept thread only accepts and enqueues; workers serve connections,
+// so one slow client cannot delay /healthz for everyone else. Both socket
+// directions carry 2 s timeouts — a peer that stops reading mid-response is
+// dropped, not waited on. When every worker is busy and the accept-side
+// backlog is full, new connections get a best-effort 503 and are closed
+// (backpressure, not queueing without bound). Handlers run on worker
+// threads — they must be thread-safe against whatever else the process is
+// doing (the metrics registry and profiler are; see their headers). stop()
+// (or the destructor) shuts the listener down and joins every thread.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hds::obs {
 
@@ -35,7 +43,8 @@ class HttpServer {
 
   // `port` 0 binds an ephemeral port (see port() after start()). Listens on
   // 127.0.0.1 only — metrics are an operator surface, not a public one.
-  explicit HttpServer(std::uint16_t port = 0);
+  // `workers` caps concurrent connection handling (min 1).
+  explicit HttpServer(std::uint16_t port = 0, std::size_t workers = 4);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -45,12 +54,13 @@ class HttpServer {
   // before start(); the route table is immutable while serving.
   void route(std::string path, Handler handler);
 
-  // Binds, listens, and spawns the accept thread. False (with the reason
-  // on stderr left to the caller via errno) if the socket could not be
-  // set up — e.g. the port is taken.
+  // Binds, listens, and spawns the accept thread + workers. False (with
+  // the reason on stderr left to the caller via errno) if the socket could
+  // not be set up — e.g. the port is taken.
   bool start();
 
-  // Stops accepting, closes the listener, joins the thread. Idempotent.
+  // Stops accepting, closes the listener and queued connections, joins
+  // every thread. Connections already being served finish. Idempotent.
   void stop();
 
   [[nodiscard]] bool running() const noexcept {
@@ -63,15 +73,24 @@ class HttpServer {
   }
 
  private:
-  void serve_loop();
+  void accept_loop();
+  void worker_loop();
   void handle_connection(int fd);
 
   std::uint16_t port_;
+  std::size_t worker_count_;
   int listen_fd_ = -1;
   std::map<std::string, Handler> routes_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
-  std::thread thread_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  // Accepted-but-unserved connections. hds::Mutex + CondVar directly (not
+  // parallel::BoundedQueue — obs must not depend on parallel).
+  mutable Mutex mu_{lockrank::kHttpServer};
+  CondVar queue_cv_;
+  std::deque<int> pending_ HDS_GUARDED_BY(mu_);
+  bool closed_ HDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hds::obs

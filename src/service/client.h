@@ -1,0 +1,35 @@
+// ServeClient — a minimal blocking client for the serve wire protocol,
+// used by `hds_tool client` and the serve-mode tests. One connection, one
+// request in flight at a time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "service/wire.h"
+
+namespace hds::service {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects to 127.0.0.1:port with `timeout_s` per socket direction.
+  [[nodiscard]] bool connect(std::uint16_t port, int timeout_s = 30);
+
+  // Sends one request and waits for its response. nullopt on any transport
+  // failure (the connection is then unusable — close() and reconnect).
+  [[nodiscard]] std::optional<Response> call(const Request& req);
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace hds::service

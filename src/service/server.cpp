@@ -1,0 +1,384 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <exception>
+
+#include "chunking/chunk_stream.h"
+#include "chunking/chunker.h"
+#include "obs/log.h"
+#include "storage/durable.h"
+#include "verify/fsck.h"
+
+namespace hds::service {
+
+namespace {
+constexpr const char* kCatalogFile = "catalog.hds";
+}  // namespace
+
+ServeServer::ServeServer(ServeConfig config) : config_(std::move(config)) {
+  if (config_.max_sessions == 0) config_.max_sessions = 1;
+  if (config_.pending_sessions == 0) config_.pending_sessions = 1;
+  if (config_.session_timeout_s <= 0) config_.session_timeout_s = 30;
+}
+
+ServeServer::~ServeServer() { stop(); }
+
+bool ServeServer::start(std::string* error) {
+  const auto fail = [&](std::string reason) {
+    if (error != nullptr) *error = std::move(reason);
+    return false;
+  };
+  if (running()) return true;
+
+  // A single-tenant repository keeps state.hds at its root; serving on top
+  // of one would wire its containers into a foreign namespace. Refuse —
+  // serve repositories are their own layout.
+  std::error_code ec;
+  if (std::filesystem::exists(config_.repo / "state.hds", ec)) {
+    return fail("refusing to serve a single-tenant repository (state.hds "
+                "at the root): " +
+                config_.repo.string());
+  }
+  std::filesystem::create_directories(config_.repo / "archival", ec);
+  if (ec) {
+    return fail("cannot create " + (config_.repo / "archival").string() +
+                ": " + ec.message());
+  }
+
+  try {
+    store_ = std::make_shared<FileContainerStore>(
+        config_.repo / "archival", /*index_existing=*/true,
+        config_.tenant_config.io_tuning);
+  } catch (const std::exception& e) {
+    return fail(std::string("cannot open shared store: ") + e.what());
+  }
+  store_->attach_metrics(metrics_, "store");
+  tenants_ = std::make_unique<TenantRegistry>(config_.repo, store_,
+                                              config_.tenant_config);
+  std::size_t broken = 0;
+  const std::size_t opened = tenants_->load_existing(&broken);
+  if (broken > 0) {
+    metrics_.counter("serve_tenants_unrecoverable").inc(broken);
+  }
+  tenants_->reconcile_store(
+      dynamic_cast<FileContainerStore*>(store_.get()));
+  metrics_.gauge("serve_tenants").set(static_cast<double>(opened));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("cannot bind 127.0.0.1:" + std::to_string(config_.port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  queue_ =
+      std::make_unique<parallel::BoundedQueue<int>>(config_.pending_sessions);
+  queue_->attach_depth_gauge(&metrics_.gauge("serve_pending_sessions"));
+
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(config_.max_sessions);
+  for (std::size_t i = 0; i < config_.max_sessions; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("serve_started", {{"port", port_},
+                                    {"tenants", opened},
+                                    {"max_sessions", config_.max_sessions}});
+  }
+  return true;
+}
+
+void ServeServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;  // only after the join: the accept loop reads this field
+  // Release the workers: wake queue waiters, abort in-flight sessions at
+  // their next socket op (the owning worker closes the fd).
+  queue_->close();
+  {
+    MutexLock lock(session_mu_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Drain connections that were queued but never picked up.
+  while (const auto fd = queue_->try_pop()) ::close(*fd);
+}
+
+void ServeServer::accept_loop() {
+  while (running()) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    timeval tv{};
+    tv.tv_sec = config_.session_timeout_s;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    if (queue_->try_push(fd)) {
+      metrics_.counter("serve_sessions_accepted").inc();
+      continue;
+    }
+    // Backpressure: every worker busy and the queue full. Tell the client
+    // explicitly instead of letting it wait on an unbounded backlog.
+    metrics_.counter("serve_sessions_rejected").inc();
+    Response busy;
+    busy.status = Status::kBusy;
+    busy.message = "server busy: all session slots taken, retry later";
+    (void)write_frame(fd, encode_response(busy));
+    // Drain whatever the client already sent before closing: data arriving
+    // after close() would trigger an RST that flushes the busy frame out of
+    // the client's receive buffer before it can read it. Bounded by a short
+    // receive timeout so a hostile peer cannot stall the accept loop.
+    ::shutdown(fd, SHUT_WR);
+    timeval drain_tv{};
+    drain_tv.tv_usec = 250 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &drain_tv, sizeof drain_tv);
+    char sink[1024];
+    while (::recv(fd, sink, sizeof sink, 0) > 0) {
+    }
+    ::close(fd);
+  }
+}
+
+void ServeServer::worker_loop() {
+  while (auto fd = queue_->pop()) {
+    {
+      MutexLock lock(session_mu_);
+      active_fds_.insert(*fd);
+      metrics_.gauge("serve_active_sessions")
+          .set(static_cast<double>(active_fds_.size()));
+    }
+    session_loop(*fd);
+    {
+      MutexLock lock(session_mu_);
+      active_fds_.erase(*fd);
+      metrics_.gauge("serve_active_sessions")
+          .set(static_cast<double>(active_fds_.size()));
+    }
+    ::close(*fd);
+  }
+}
+
+void ServeServer::session_loop(int fd) {
+  // Tenants this connection has touched — each counts one session.
+  std::unordered_set<std::string> seen;
+  while (running()) {
+    const auto frame = read_frame(fd, config_.max_frame_bytes);
+    if (!frame.has_value()) break;  // peer done, stalled, or oversized
+    Response resp;
+    if (const auto req = decode_request(*frame)) {
+      metrics_.counter("serve_requests").inc();
+      try {
+        resp = handle(*req, seen);
+      } catch (const std::exception& e) {
+        resp.status = Status::kError;
+        resp.message = std::string("operation failed: ") + e.what();
+      }
+    } else {
+      resp.status = Status::kError;
+      resp.message = "malformed request frame";
+    }
+    if (resp.status != Status::kOk) {
+      metrics_.counter("serve_request_errors").inc();
+    }
+    if (!write_frame(fd, encode_response(resp))) break;
+  }
+}
+
+Response ServeServer::handle(const Request& req,
+                             std::unordered_set<std::string>& seen) {
+  Response resp;
+  if (req.op == Op::kPing) {
+    resp.message = "pong";
+    return resp;
+  }
+  if (!valid_tenant_name(req.tenant)) {
+    resp.status = Status::kError;
+    resp.message = "invalid tenant name (want [a-z0-9_-]{1,32}): '" +
+                   req.tenant + "'";
+    return resp;
+  }
+  const auto tenant = tenants_->open_tenant(req.tenant);
+  if (tenant == nullptr) {
+    resp.status = Status::kError;
+    resp.message = "cannot open tenant namespace '" + req.tenant + "'";
+    return resp;
+  }
+  if (seen.insert(req.tenant).second) {
+    tenant_counter(req.tenant, "sessions").inc();
+  }
+  switch (req.op) {
+    case Op::kBackup:  return do_backup(*tenant, req);
+    case Op::kRestore: return do_restore(*tenant, req);
+    case Op::kList:    return do_list(*tenant);
+    case Op::kStats:   return do_stats(*tenant);
+    case Op::kFsck:    return do_fsck(*tenant);
+    case Op::kPing:    break;  // handled above
+  }
+  resp.status = Status::kError;
+  resp.message = "unknown operation";
+  return resp;
+}
+
+Response ServeServer::do_backup(Tenant& tenant, const Request& req) {
+  Response resp;
+  MutexLock op(tenant.op_mu);
+  if (config_.tenant_quota_bytes > 0) {
+    const std::uint64_t retained = tenant.retained_bytes();
+    if (retained + req.data.size() > config_.tenant_quota_bytes) {
+      tenant_counter(tenant.name, "quota_rejections").inc();
+      resp.status = Status::kQuotaExceeded;
+      resp.message = "quota exceeded: retained " + std::to_string(retained) +
+                     " + incoming " + std::to_string(req.data.size()) +
+                     " > " + std::to_string(config_.tenant_quota_bytes);
+      return resp;
+    }
+  }
+  const auto chunker = make_chunker(ChunkerKind::kTttd);
+  const VersionStream stream = chunk_bytes(*chunker, req.data);
+  const BackupReport report = tenant.sys->backup(stream);
+  std::vector<CatalogEntry> files;
+  files.push_back({req.label.empty() ? std::string("data") : req.label, 0,
+                   req.data.size()});
+  tenant.catalog.add_version(report.version, std::move(files));
+  // Commit order: catalog first, then the state commit that makes the
+  // version durable — a crash in between leaves a catalog entry recovery
+  // trims, never a committed version without its catalog.
+  durable::atomic_write_file(tenant.dir / kCatalogFile,
+                             tenant.catalog.serialize());
+  tenant.sys->save(tenant.dir);
+  tenant_counter(tenant.name, "backups").inc();
+  tenant_counter(tenant.name, "logical_bytes").inc(report.logical_bytes);
+  tenant_counter(tenant.name, "chunks").inc(report.logical_chunks);
+  resp.message = "version=" + std::to_string(report.version) +
+                 " logical_bytes=" + std::to_string(report.logical_bytes) +
+                 " stored_bytes=" + std::to_string(report.stored_bytes) +
+                 " chunks=" + std::to_string(report.logical_chunks);
+  return resp;
+}
+
+Response ServeServer::do_restore(Tenant& tenant, const Request& req) {
+  Response resp;
+  MutexLock op(tenant.op_mu);
+  const VersionId latest = tenant.sys->latest_version();
+  const VersionId version = req.version == 0 ? latest : req.version;
+  if (latest < 1 || version < tenant.sys->oldest_version() ||
+      version > latest) {
+    resp.status = Status::kError;
+    resp.message = "no such version: " + std::to_string(version);
+    return resp;
+  }
+  const RestoreReport report = tenant.sys->restore(
+      version, [&resp](const ChunkLoc&, std::span<const std::uint8_t> bytes) {
+        resp.data.insert(resp.data.end(), bytes.begin(), bytes.end());
+      });
+  if (report.stats.failed_chunks > 0) {
+    resp.status = Status::kError;
+    resp.message = std::to_string(report.stats.failed_chunks) +
+                   " chunk(s) failed to restore";
+    return resp;
+  }
+  tenant_counter(tenant.name, "restores").inc();
+  tenant_counter(tenant.name, "restored_bytes")
+      .inc(report.stats.restored_bytes);
+  resp.message = "version=" + std::to_string(version) +
+                 " bytes=" + std::to_string(report.stats.restored_bytes) +
+                 " container_reads=" +
+                 std::to_string(report.stats.container_reads);
+  return resp;
+}
+
+Response ServeServer::do_list(Tenant& tenant) {
+  Response resp;
+  MutexLock op(tenant.op_mu);
+  std::string text;
+  for (const VersionId v : tenant.sys->recipes().versions()) {
+    const Recipe* recipe = tenant.sys->recipes().get(v);
+    if (recipe == nullptr) continue;
+    text += "version=" + std::to_string(v) +
+            " logical_bytes=" + std::to_string(recipe->logical_bytes()) +
+            " chunks=" + std::to_string(recipe->chunk_count());
+    if (const auto* files = tenant.catalog.files(v);
+        files != nullptr && !files->empty()) {
+      text += " label=" + files->front().path;
+    }
+    text += "\n";
+  }
+  resp.message = std::to_string(tenant.sys->recipes().size()) + " version(s)";
+  resp.data.assign(text.begin(), text.end());
+  return resp;
+}
+
+Response ServeServer::do_stats(Tenant& tenant) {
+  Response resp;
+  MutexLock op(tenant.op_mu);
+  tenant.sys->refresh_gauges();
+  const std::string text = tenant.sys->metrics().to_prometheus();
+  resp.message = "tenant=" + tenant.name;
+  resp.data.assign(text.begin(), text.end());
+  return resp;
+}
+
+Response ServeServer::do_fsck(Tenant& tenant) {
+  Response resp;
+  MutexLock op(tenant.op_mu);
+  const verify::FsckReport report = verify::run_fsck(*tenant.sys);
+  const std::string text = report.to_text();
+  resp.data.assign(text.begin(), text.end());
+  if (report.clean()) {
+    resp.message = "clean";
+  } else {
+    resp.status = Status::kError;
+    resp.message = std::to_string(report.total_violations()) +
+                   " violation(s)";
+  }
+  return resp;
+}
+
+obs::Counter& ServeServer::tenant_counter(std::string_view tenant,
+                                          const char* what) {
+  return metrics_.counter("tenant_" + std::string(tenant) + "_" + what);
+}
+
+void ServeServer::refresh_metrics() {
+  if (tenants_ == nullptr) return;
+  const auto all = tenants_->snapshot();
+  metrics_.gauge("serve_tenants").set(static_cast<double>(all.size()));
+  for (const auto& tenant : all) {
+    MutexLock op(tenant->op_mu);
+    metrics_
+        .gauge("tenant_" + tenant->name + "_versions")
+        .set(static_cast<double>(tenant->sys->recipes().size()));
+    metrics_
+        .gauge("tenant_" + tenant->name + "_retained_bytes")
+        .set(static_cast<double>(tenant->retained_bytes()));
+  }
+}
+
+}  // namespace hds::service

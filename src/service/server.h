@@ -1,0 +1,134 @@
+// ServeServer — the multi-tenant front end behind `hds_tool serve`
+// (DESIGN.md §15).
+//
+// One long-running process owns a serve repository:
+//
+//   <repo>/archival/        shared FileContainerStore (all tenants)
+//   <repo>/tenants/<name>/  per-tenant state.hds + MANIFEST + catalog.hds
+//   <repo>/quarantine/      startup orphan sweep output
+//
+// Clients connect to a loopback TCP port and exchange length-prefixed
+// request/response frames (wire.h). Each connection is a session: it may
+// issue any number of requests (backup/restore/list/stats/fsck/ping)
+// against any tenants, one at a time, and is served by one worker thread
+// end to end.
+//
+// Admission control and backpressure: `max_sessions` workers serve
+// sessions; accepted connections queue in a BoundedQueue of depth
+// `pending_sessions` (its depth is exported as the serve_pending_sessions
+// gauge). When the queue is full the connection is answered immediately
+// with Status::kBusy and closed — the listener never wedges behind slow
+// sessions, and clients get an explicit retry signal instead of an unbound
+// wait. Per-tenant quotas (`tenant_quota_bytes` of retained logical data)
+// reject oversized backups with Status::kQuotaExceeded before any chunk is
+// ingested.
+//
+// Concurrency model: one operation per tenant at a time (Tenant::op_mu);
+// operations on different tenants run concurrently, meeting only in the
+// shared container store's thread-safe surface. Lock ranks: registry (4) →
+// session set (5) → tenant (6) → everything HiDeStore takes internally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/hidestore.h"
+#include "obs/metrics.h"
+#include "parallel/mpmc_queue.h"
+#include "service/tenant.h"
+#include "service/wire.h"
+
+namespace hds::service {
+
+struct ServeConfig {
+  std::filesystem::path repo;
+  std::uint16_t port = 0;           // 0 = ephemeral (see ServeServer::port())
+  std::size_t max_sessions = 4;     // concurrent sessions (worker threads)
+  std::size_t pending_sessions = 8; // admission queue depth before kBusy
+  // Per-tenant retained-logical-bytes ceiling; 0 = unlimited. Checked
+  // before ingest, so a rejected backup changes nothing.
+  std::uint64_t tenant_quota_bytes = 0;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  // Per-direction socket timeout; a client that stalls longer mid-frame is
+  // dropped (its session slot is what the timeout protects).
+  int session_timeout_s = 30;
+  // Base per-tenant HiDeStore configuration. storage_dir is ignored (each
+  // tenant gets its own directory); io_tuning applies to the shared store.
+  HiDeStoreConfig tenant_config;
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServeConfig config);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  // Opens (or initializes) the serve repository, recovers every tenant,
+  // sweeps shared-store orphans, binds the loopback listener and spawns
+  // the worker pool. False with a reason in `error` when the repository is
+  // unusable (e.g. it is a single-tenant repo) or the port is taken.
+  bool start(std::string* error = nullptr);
+
+  // Stops accepting, aborts in-flight sessions at the next socket
+  // operation, joins every thread. Tenant state is already durable — every
+  // backup commits (state + catalog) before its response is sent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  // Bound port (resolves ephemeral requests after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Service-wide registry: shared-store mirrors (store_*), admission
+  // gauges/counters (serve_*) and per-tenant counters (tenant_<name>_*).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  // Recomputes per-tenant gauges (versions, retained bytes) — call before
+  // exporting the registry.
+  void refresh_metrics();
+
+  [[nodiscard]] TenantRegistry* tenants() noexcept { return tenants_.get(); }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void session_loop(int fd);
+  [[nodiscard]] Response handle(const Request& req,
+                                std::unordered_set<std::string>& seen);
+
+  Response do_backup(Tenant& tenant, const Request& req);
+  Response do_restore(Tenant& tenant, const Request& req);
+  Response do_list(Tenant& tenant);
+  Response do_stats(Tenant& tenant);
+  Response do_fsck(Tenant& tenant);
+
+  obs::Counter& tenant_counter(std::string_view tenant, const char* what);
+
+  ServeConfig config_;
+  obs::MetricsRegistry metrics_;
+  std::shared_ptr<ContainerStore> store_;
+  std::unique_ptr<TenantRegistry> tenants_;
+  std::unique_ptr<parallel::BoundedQueue<int>> queue_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  // Sessions currently inside session_loop(); stop() shutdown()s them so
+  // workers blocked in recv() return promptly instead of riding out the
+  // socket timeout. The owning worker still does the close().
+  mutable Mutex session_mu_{lockrank::kServiceSessions};
+  std::unordered_set<int> active_fds_ HDS_GUARDED_BY(session_mu_);
+};
+
+}  // namespace hds::service

@@ -1,0 +1,182 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <unordered_set>
+
+#include "obs/log.h"
+#include "service/wire.h"
+#include "storage/durable.h"
+
+namespace hds::service {
+
+namespace {
+
+constexpr const char* kCatalogFile = "catalog.hds";
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+// Loads the tenant's catalog and drops versions the store no longer
+// retains (crash recovery may have rolled the state back past them).
+FileCatalog load_catalog(const std::filesystem::path& dir,
+                         const HiDeStore& sys) {
+  FileCatalog catalog;
+  if (const auto bytes = read_file_bytes(dir / kCatalogFile)) {
+    if (auto parsed = FileCatalog::deserialize(*bytes)) {
+      catalog = std::move(*parsed);
+    }
+  }
+  for (const VersionId v : catalog.versions()) {
+    if (v > sys.latest_version() || v < sys.oldest_version()) {
+      catalog.erase_version(v);
+    }
+  }
+  return catalog;
+}
+
+}  // namespace
+
+std::uint64_t Tenant::retained_bytes() const {
+  std::uint64_t total = 0;
+  if (sys == nullptr) return 0;
+  for (const VersionId v : sys->recipes().versions()) {
+    if (const Recipe* recipe = sys->recipes().get(v)) {
+      total += recipe->logical_bytes();
+    }
+  }
+  return total;
+}
+
+TenantRegistry::TenantRegistry(std::filesystem::path repo,
+                               std::shared_ptr<ContainerStore> store,
+                               const HiDeStoreConfig& base)
+    : tenants_dir_(std::move(repo) / "tenants"),
+      store_(std::move(store)),
+      base_(base) {
+  std::error_code ec;
+  std::filesystem::create_directories(tenants_dir_, ec);
+}
+
+std::size_t TenantRegistry::load_existing(std::size_t* failed) {
+  std::size_t opened = 0, broken = 0;
+  std::error_code ec;
+  std::vector<std::filesystem::path> dirs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(tenants_dir_, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const auto& dir : dirs) {
+    const std::string name = dir.filename().string();
+    if (!valid_tenant_name(name)) continue;
+    auto tenant = std::make_shared<Tenant>();
+    tenant->name = name;
+    tenant->dir = dir;
+    {
+      MutexLock op(tenant->op_mu);
+      tenant->sys = HiDeStore::open_shared(dir, store_);
+      if (tenant->sys == nullptr) {
+        // Unrecoverable state: leave the directory for forensics but do
+        // not serve the name — a fresh namespace here would shadow it.
+        ++broken;
+        obs::log_warn("tenant_open_failed", {{"tenant", name}});
+        continue;
+      }
+      tenant->catalog = load_catalog(dir, *tenant->sys);
+    }
+    MutexLock lock(mu_);
+    tenants_.emplace(name, std::move(tenant));
+    ++opened;
+  }
+  if (failed != nullptr) *failed = broken;
+  return opened;
+}
+
+void TenantRegistry::reconcile_store(FileContainerStore* fstore) {
+  if (fstore == nullptr) return;
+  std::unordered_set<ContainerId> tagged;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, tenant] : tenants_) {
+      (void)name;
+      MutexLock op(tenant->op_mu);
+      for (const auto& [cid, version] : tenant->sys->container_tags()) {
+        (void)version;
+        tagged.insert(cid);
+      }
+    }
+  }
+  auto on_disk = fstore->ids();
+  std::sort(on_disk.begin(), on_disk.end());
+  const auto quarantine = tenants_dir_.parent_path() / "quarantine";
+  std::error_code ec;
+  for (const ContainerId id : on_disk) {
+    if (tagged.contains(id)) continue;
+    // Sealed by a backup whose state commit never landed: an orphan no
+    // tenant can reach. Keep it recoverable, off the books.
+    std::filesystem::create_directories(quarantine, ec);
+    const auto src = fstore->container_path(id);
+    std::filesystem::rename(src, quarantine / src.filename(), ec);
+    if (ec) std::filesystem::remove(src, ec);
+    fstore->forget(id);
+    obs::log_warn("orphan_container_quarantined",
+                  {{"container", static_cast<std::uint64_t>(id)}});
+  }
+}
+
+std::shared_ptr<Tenant> TenantRegistry::open_tenant(const std::string& name) {
+  if (!valid_tenant_name(name)) return nullptr;
+  MutexLock lock(mu_);
+  if (const auto it = tenants_.find(name); it != tenants_.end()) {
+    return it->second;
+  }
+  auto tenant = std::make_shared<Tenant>();
+  tenant->name = name;
+  tenant->dir = tenants_dir_ / name;
+  std::error_code ec;
+  std::filesystem::create_directories(tenant->dir, ec);
+  if (ec) return nullptr;
+  {
+    MutexLock op(tenant->op_mu);
+    HiDeStoreConfig config = base_;
+    config.storage_dir = tenant->dir;
+    tenant->sys = std::make_unique<HiDeStore>(config, store_);
+    try {
+      // Persist the empty namespace immediately so a restart (or a crash
+      // before the first backup commits) still knows the tenant exists.
+      tenant->sys->save(tenant->dir);
+    } catch (const durable::WriteError&) {
+      return nullptr;
+    }
+  }
+  tenants_.emplace(name, tenant);
+  return tenant;
+}
+
+std::shared_ptr<Tenant> TenantRegistry::find(const std::string& name) const {
+  MutexLock lock(mu_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Tenant>> TenantRegistry::snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<std::shared_ptr<Tenant>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    (void)name;
+    out.push_back(tenant);
+  }
+  return out;
+}
+
+}  // namespace hds::service

@@ -1,0 +1,97 @@
+// Per-tenant namespaces over one shared archival store (DESIGN.md §15).
+//
+// A tenant is a complete HiDeStore minus the container store: its own
+// double-hash fingerprint cache, active pool, recipe chain, deletion tags,
+// and file catalog, persisted under <repo>/tenants/<name>/ with the usual
+// state.hds + MANIFEST commit protocol. All tenants share one
+// FileContainerStore under <repo>/archival — the store's thread-safe
+// surface (reserve_id/put/read/erase) is the only cross-tenant contact
+// point, so two tenants' backups overlap without a shared lock.
+//
+// Isolation: a tenant's §4.5 deletion tags double as its ownership set.
+// Its recipes only ever name containers it wrote (dedup state is private,
+// so chunks are never deduplicated across tenants), and deletion erases
+// only tagged containers — tenants cannot observe or reclaim each other's
+// data. At startup, reconcile_store() quarantines containers no tenant
+// tags (debris of a commit no tenant completed), mirroring what
+// HiDeStore::open() does for a single-tenant repository.
+//
+// Locking: registry lookups take mu_ (rank kServiceRegistry); whole
+// backup/restore/list operations run under the tenant's op_mu (rank
+// kServiceTenant) — per-tenant ops serialize, cross-tenant ops overlap.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/catalog.h"
+#include "common/thread_annotations.h"
+#include "core/hidestore.h"
+#include "storage/container_store.h"
+
+namespace hds::service {
+
+struct Tenant {
+  std::string name;
+  std::filesystem::path dir;
+  // One backup/restore/list/fsck runs under op_mu end to end: HiDeStore is
+  // not internally synchronized, and serializing per tenant (not globally)
+  // is exactly the concurrency the shared store supports.
+  Mutex op_mu{lockrank::kServiceTenant};
+  std::unique_ptr<HiDeStore> sys HDS_GUARDED_BY(op_mu);
+  FileCatalog catalog HDS_GUARDED_BY(op_mu);
+
+  // Quota basis: logical bytes across *retained* versions (recomputed from
+  // recipes, so it survives reload and shrinks when versions are deleted).
+  [[nodiscard]] std::uint64_t retained_bytes() const HDS_REQUIRES(op_mu);
+};
+
+class TenantRegistry {
+ public:
+  // `repo` is the serve root; tenant state lives under repo/tenants/<name>.
+  // `store` is the shared archival store; `base` supplies per-tenant config
+  // (container size, cache window, io tuning — storage_dir is overridden
+  // with the tenant directory).
+  TenantRegistry(std::filesystem::path repo,
+                 std::shared_ptr<ContainerStore> store,
+                 const HiDeStoreConfig& base);
+
+  // Opens every tenant directory found under repo/tenants (crash recovery
+  // included). Returns the number opened; directories whose state cannot be
+  // recovered are skipped (left on disk for forensics) and counted in
+  // `failed` when given.
+  std::size_t load_existing(std::size_t* failed = nullptr);
+
+  // Startup orphan sweep: quarantines shared-store containers that no
+  // loaded tenant tags. Call after load_existing(), before serving — at
+  // runtime an untagged container may be a backup in flight.
+  void reconcile_store(FileContainerStore* fstore);
+
+  // Returns the named tenant, creating (and persisting) a fresh namespace
+  // on first use. nullptr when the name is invalid or creation failed.
+  std::shared_ptr<Tenant> open_tenant(const std::string& name);
+
+  // Existing tenant or nullptr — never creates.
+  [[nodiscard]] std::shared_ptr<Tenant> find(const std::string& name) const;
+
+  // Stable snapshot of every tenant, name-ordered.
+  [[nodiscard]] std::vector<std::shared_ptr<Tenant>> snapshot() const;
+
+  [[nodiscard]] const std::filesystem::path& tenants_dir() const noexcept {
+    return tenants_dir_;
+  }
+
+ private:
+  std::filesystem::path tenants_dir_;
+  std::shared_ptr<ContainerStore> store_;
+  HiDeStoreConfig base_;
+  mutable Mutex mu_{lockrank::kServiceRegistry};
+  std::map<std::string, std::shared_ptr<Tenant>, std::less<>> tenants_
+      HDS_GUARDED_BY(mu_);
+};
+
+}  // namespace hds::service

@@ -1,0 +1,85 @@
+// Serve-mode wire protocol (DESIGN.md §15): length-prefixed binary frames
+// over a loopback TCP socket.
+//
+// Every message is one frame: a little-endian u32 payload length followed
+// by that many payload bytes. Frames above kMaxFrameBytes are rejected
+// before any allocation, so a garbage length prefix cannot balloon memory.
+// Payloads are ByteWriter/ByteReader encodings (common/byte_io.h):
+//
+//   Request  = u8 op | u8 tenant_len | tenant bytes | blob label
+//            | u32 version | raw data...
+//   Response = u8 status | blob message | raw data...
+//
+// `data` is whatever trails the fixed fields: the backup payload on
+// Op::kBackup requests, the restored bytes / metrics text / fsck report on
+// responses. Tenant names are the namespace key and double as metric-name
+// fragments, so they are restricted to [a-z0-9_-], at most kMaxTenantName
+// characters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hds::service {
+
+// Hard ceiling on one frame (request or response). Large backups should be
+// split into multiple versions by the client, not one giant frame.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+inline constexpr std::size_t kMaxTenantName = 32;
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kBackup = 1,
+  kRestore = 2,
+  kList = 3,
+  kStats = 4,
+  kFsck = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,          // malformed request, unknown version, failed op
+  kBusy = 2,           // admission control: every session slot taken
+  kQuotaExceeded = 3,  // tenant quota would be exceeded; nothing ingested
+};
+
+struct Request {
+  Op op = Op::kPing;
+  std::string tenant;
+  std::string label;          // backup label (shows up in `list`)
+  std::uint32_t version = 0;  // restore target; 0 = latest
+  std::vector<std::uint8_t> data;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string message;
+  std::vector<std::uint8_t> data;
+};
+
+// [a-z0-9_-]{1,kMaxTenantName} — safe as a directory name and a metric
+// name fragment.
+[[nodiscard]] bool valid_tenant_name(std::string_view name) noexcept;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& req);
+[[nodiscard]] std::optional<Request> decode_request(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& resp);
+[[nodiscard]] std::optional<Response> decode_response(
+    std::span<const std::uint8_t> payload);
+
+// Blocking frame I/O on a connected socket. Both retry EINTR; a timeout
+// (EAGAIN/EWOULDBLOCK from SO_RCVTIMEO/SO_SNDTIMEO), a peer hang-up, or a
+// length prefix above `max_bytes` fails the call — the caller drops the
+// connection. read_frame returns nullopt on any failure; an empty frame
+// (length 0) is valid and returns an empty vector.
+[[nodiscard]] bool write_frame(int fd, std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_frame(
+    int fd, std::uint32_t max_bytes = kMaxFrameBytes);
+
+}  // namespace hds::service

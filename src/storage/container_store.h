@@ -219,6 +219,17 @@ class ContainerStore {
   // future reservations never collide with existing containers.
   void restore_next_id(ContainerId next) noexcept { next_id_ = next; }
 
+  // Shared-store variant of restore_next_id(): raises the counter to at
+  // least `next`, never lowering it. Safe to race — several tenants
+  // reopening over one shared store each replay their saved watermark, and
+  // only the highest may win (a lower one would recycle live IDs).
+  void bump_next_id(ContainerId next) noexcept {
+    ContainerId cur = next_id_.load(std::memory_order_relaxed);
+    while (cur < next && !next_id_.compare_exchange_weak(
+                             cur, next, std::memory_order_relaxed)) {
+    }
+  }
+
  protected:
   // What a backend read produced: the container plus the logical/physical
   // byte split the public wrappers account (see IoStats).

@@ -8,6 +8,7 @@
 #include "common/chunk.h"
 #include "common/crc32.h"
 #include "common/fingerprint.h"
+#include "common/parse.h"
 #include "common/rng.h"
 #include "common/sha1.h"
 #include "common/stats.h"
@@ -277,6 +278,42 @@ TEST(TablePrinter, FormatsWithoutCrashing) {
   t.add_row({"22", "333"});
   t.print();  // smoke: padding with missing cells
   EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+}
+
+// --- parse_uint: the checked CLI number parser ---
+
+TEST(ParseUint, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_uint("0"), 0u);
+  EXPECT_EQ(parse_uint("7"), 7u);
+  EXPECT_EQ(parse_uint("65535"), 65535u);
+  EXPECT_EQ(parse_uint("18446744073709551615"), UINT64_MAX);
+  // Leading zeros are just digits.
+  EXPECT_EQ(parse_uint("007"), 7u);
+}
+
+TEST(ParseUint, RejectsGarbageThatStrtoulSwallows) {
+  // strtoul("abc") silently yields 0; parse_uint refuses.
+  EXPECT_FALSE(parse_uint("abc").has_value());
+  EXPECT_FALSE(parse_uint("").has_value());
+  // Trailing junk after digits.
+  EXPECT_FALSE(parse_uint("12abc").has_value());
+  EXPECT_FALSE(parse_uint("12 ").has_value());
+  EXPECT_FALSE(parse_uint(" 12").has_value());
+  // Signs, hex, floats: not plain decimal.
+  EXPECT_FALSE(parse_uint("-1").has_value());
+  EXPECT_FALSE(parse_uint("+1").has_value());
+  EXPECT_FALSE(parse_uint("0x10").has_value());
+  EXPECT_FALSE(parse_uint("1.5").has_value());
+}
+
+TEST(ParseUint, RejectsOverflowAndOutOfRange) {
+  // One past UINT64_MAX.
+  EXPECT_FALSE(parse_uint("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_uint("99999999999999999999999").has_value());
+  // Caller-imposed ceiling: the --port=99999 wraparound bug.
+  EXPECT_FALSE(parse_uint("99999", 65535).has_value());
+  EXPECT_EQ(parse_uint("65535", 65535), 65535u);
+  EXPECT_FALSE(parse_uint("65536", 65535).has_value());
 }
 
 }  // namespace

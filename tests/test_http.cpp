@@ -9,9 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "obs/http.h"
 
@@ -145,6 +148,137 @@ TEST(HttpServer, CountsServedRequests) {
   (void)get(server.port(), "/missing");  // 404s count as served too
   server.stop();
   EXPECT_EQ(server.requests_served(), 4u);
+}
+
+// Raw connected socket for the piecemeal / stalled-reader cases.
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_raw(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_all(int fd) {
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(HttpServer, SplitRequestIsServed) {
+  HttpServer server(0);
+  server.route("/ping", [] {
+    HttpServer::Response r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  // The request line arrives in three pieces across packet boundaries; the
+  // server must keep reading until the header terminator.
+  send_raw(fd, "GET /pi");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  send_raw(fd, "ng HTTP/1.1\r\nHost");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  send_raw(fd, ": x\r\n\r\n");
+  const auto response = recv_all(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("pong"), std::string::npos);
+}
+
+TEST(HttpServer, OversizedRequestIs400) {
+  HttpServer server(0);
+  server.route("/", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start());
+  // 32 KB of request with no header terminator: past the 16 KB cap the
+  // server must answer 400 instead of buffering forever.
+  const std::string flood = "GET /" + std::string(32 * 1024, 'a');
+  const auto response = talk(server.port(), flood);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("request too large"), std::string::npos);
+}
+
+TEST(HttpServer, WorkerPoolServesConcurrently) {
+  // /gate parks its worker until /open is served — only possible when two
+  // connections are handled by different workers at the same time.
+  std::atomic<bool> opened{false};
+  HttpServer server(0, /*workers=*/2);
+  server.route("/gate", [&opened] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!opened.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    HttpServer::Response r;
+    r.body = opened.load(std::memory_order_acquire) ? "opened\n" : "stuck\n";
+    return r;
+  });
+  server.route("/open", [&opened] {
+    opened.store(true, std::memory_order_release);
+    HttpServer::Response r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start());
+  std::string gate_response;
+  std::thread gate([&] { gate_response = get(server.port(), "/gate"); });
+  // Runs while /gate is parked on the other worker.
+  EXPECT_NE(get(server.port(), "/open").find("200 OK"), std::string::npos);
+  gate.join();
+  EXPECT_NE(gate_response.find("opened"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, StalledReaderDoesNotWedgeOthers) {
+  HttpServer server(0, /*workers=*/2);
+  const std::string big(4 * 1024 * 1024, 'x');
+  server.route("/big", [&big] {
+    HttpServer::Response r;
+    r.body = big;
+    return r;
+  });
+  server.route("/healthz", [] {
+    HttpServer::Response r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start());
+  // Request a 4 MB body and never read it: the socket buffers fill, the
+  // worker's send() blocks, and SO_SNDTIMEO (2 s) reclaims the worker.
+  const int stalled = connect_to(server.port());
+  ASSERT_GE(stalled, 0);
+  send_raw(stalled, "GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
+  // Meanwhile the other worker keeps serving.
+  EXPECT_NE(get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  // stop() must not hang on the stalled connection (bounded by the 2 s
+  // send timeout).
+  server.stop();
+  ::close(stalled);
+  EXPECT_FALSE(server.running());
 }
 
 }  // namespace
